@@ -1,0 +1,84 @@
+"""Scaling DeepSeek-V3 to a 256-die multi-wafer system.
+
+Walks the Fig. 17 ablation: the same model on NVL72 and on a 4x(8x8)
+multi-WSC cluster under progressively better mappings, reporting the
+communication split and the per-device MoE picture at EP = 256 vs EP = 72.
+
+Run:  python examples/multi_wafer_scaling.py
+"""
+
+import numpy as np
+
+from repro import build_multi_wsc, build_nvl72, get_model
+from repro.analysis.report import format_table
+from repro.engine.compute import ComputeModel
+from repro.network.alltoall import simulate_alltoall, uniform_demand
+
+TOKENS_PER_DEVICE = 64
+
+
+def analyse(name, system):
+    model = system.model
+    mapping = system.mapping
+    placement = system.fresh_placement()
+    tokens_per_group = TOKENS_PER_DEVICE * system.num_devices // mapping.dp
+
+    demand = uniform_demand(
+        mapping.dp,
+        model.num_experts,
+        tokens_per_group,
+        model.experts_per_token,
+        model.token_bytes,
+    )
+    allreduce = mapping.simulate_allreduce(tokens_per_group * model.token_bytes)
+    alltoall = simulate_alltoall(
+        system.topology, demand, placement.destinations, mapping.token_holders
+    )
+    loads = np.full(
+        model.num_experts,
+        TOKENS_PER_DEVICE * system.num_devices * model.experts_per_token
+        / model.num_experts,
+    )
+    moe = ComputeModel(system.device, model).moe_peak_time(loads, placement)
+    return [
+        name,
+        f"{model.experts_per_device(system.num_devices):.2f}",
+        f"{allreduce.duration * 1e6:.1f}us",
+        f"{alltoall.duration * 1e6:.1f}us",
+        f"{moe.compute * 1e6:.1f}us",
+        f"{moe.memory * 1e6:.1f}us",
+    ]
+
+
+def main():
+    model = get_model("deepseek-v3")
+    rows = [
+        analyse("NVL72 (EP=72)", build_nvl72(model, tp=4)),
+        analyse(
+            "4x(8x8) WSC, baseline mapping",
+            build_multi_wsc(model, 4, 8, tp=4, mapping="baseline"),
+        ),
+        analyse(
+            "4x(8x8) WSC, flat ER-Mapping",
+            build_multi_wsc(model, 4, 8, tp=4, mapping="er"),
+        ),
+        analyse(
+            "4x(8x8) WSC, HER-Mapping",
+            build_multi_wsc(model, 4, 8, tp=4, mapping="her"),
+        ),
+    ]
+    print(f"{model.name}, {TOKENS_PER_DEVICE} decode tokens per device\n")
+    print(
+        format_table(
+            ["System", "E/D", "All-reduce", "All-to-all", "MoE compute", "MoE memory"],
+            rows,
+        )
+    )
+    print(
+        "\nEP = 256 cuts per-device weight streaming ~3.6x vs NVL72; HER-Mapping "
+        "removes the mesh all-to-all penalty that the baseline mapping pays."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: price one MoE layer on a wafer vs a GPU cluster.
+
+Builds a 6x6 wafer-scale chip and a 4-node DGX cluster hosting Qwen3-235B,
+then compares the attention all-reduce and the MoE all-to-all under the
+baseline mapping and under ER-Mapping.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_dgx, build_wsc, get_model
+from repro.analysis.report import bar_chart
+from repro.network.alltoall import simulate_alltoall, uniform_demand
+
+TOKENS_PER_GROUP = 256
+
+
+def communication_times(system):
+    """(all-reduce seconds, all-to-all seconds) for one sparse layer."""
+    model = system.model
+    mapping = system.mapping
+    placement = system.fresh_placement()
+    demand = uniform_demand(
+        num_groups=mapping.dp,
+        num_experts=model.num_experts,
+        tokens_per_group=TOKENS_PER_GROUP,
+        experts_per_token=model.experts_per_token,
+        token_bytes=model.token_bytes,
+    )
+    allreduce = mapping.simulate_allreduce(TOKENS_PER_GROUP * model.token_bytes)
+    alltoall = simulate_alltoall(
+        system.topology, demand, placement.destinations, mapping.token_holders
+    )
+    return allreduce.duration, alltoall.duration
+
+
+def main():
+    model = get_model("qwen3")
+    systems = {
+        "DGX 4-node": build_dgx(model, num_nodes=4, tp=4),
+        "WSC 6x6 baseline": build_wsc(model, side=6, tp=4, mapping="baseline"),
+        "WSC 6x6 + ER-Mapping": build_wsc(model, side=6, tp=4, mapping="er"),
+    }
+
+    print(f"Model: {model.name} ({model.experts_per_token}/{model.num_experts} experts)")
+    print(f"Tokens per TP group: {TOKENS_PER_GROUP}\n")
+
+    labels, totals = [], []
+    for name, system in systems.items():
+        allreduce, alltoall = communication_times(system)
+        total = allreduce + alltoall
+        labels.append(name)
+        totals.append(total * 1e6)
+        print(
+            f"{name:22s} all-reduce {allreduce * 1e6:7.2f}us   "
+            f"all-to-all {alltoall * 1e6:7.2f}us   total {total * 1e6:7.2f}us"
+        )
+
+    print("\nTotal communication per sparse layer:")
+    print(bar_chart(labels, totals, unit="us"))
+
+    baseline, er = totals[1], totals[2]
+    print(f"\nER-Mapping cuts WSC communication by {(1 - er / baseline) * 100:.0f}%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""MoEntwine reproduction: wafer-scale expert-parallel MoE inference.
+
+Reproduces "MoEntwine: Unleashing the Potential of Wafer-Scale Chips for
+Large-Scale Expert Parallel Inference" (HPCA 2026): the ER-Mapping /
+Full-Token-Domain communication co-design and the NI-Balancer non-invasive
+expert migration scheme, on an analytical mesh/switched network simulator.
+
+Quickstart::
+
+    from repro import build_wsc, get_model
+    from repro.engine import EngineConfig, IterationSimulator
+    from repro.network.alltoall import uniform_demand
+
+    system = build_wsc(get_model("qwen3"), side=6, tp=4, mapping="er")
+    sim = IterationSimulator(system.device, system.model, system.mapping)
+    ...
+"""
+
+from repro.hardware.device import B200, DeviceSpec
+from repro.models.registry import get_model, list_models
+from repro.systems import (
+    System,
+    build_dgx,
+    build_multi_wsc,
+    build_nvl72,
+    build_wsc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "B200",
+    "DeviceSpec",
+    "get_model",
+    "list_models",
+    "System",
+    "build_wsc",
+    "build_multi_wsc",
+    "build_dgx",
+    "build_nvl72",
+    "__version__",
+]

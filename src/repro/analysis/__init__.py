@@ -1,0 +1,13 @@
+"""Analysis helpers: load accounting, breakdowns, text reporting."""
+
+from repro.analysis.load import device_token_loads, imbalance_degree, load_ratio
+from repro.analysis.report import bar_chart, format_table, relative
+
+__all__ = [
+    "device_token_loads",
+    "imbalance_degree",
+    "load_ratio",
+    "format_table",
+    "bar_chart",
+    "relative",
+]

@@ -1,0 +1,39 @@
+"""Device load accounting."""
+
+import numpy as np
+
+from repro.mapping.placement import ExpertPlacement
+
+
+def device_token_loads(
+    expert_loads: np.ndarray, placement: ExpertPlacement
+) -> np.ndarray:
+    """Tokens each device processes, splitting replicated experts equally."""
+    loads = np.asarray(expert_loads, dtype=float)
+    if loads.shape != (placement.num_experts,):
+        raise ValueError(
+            f"expected {placement.num_experts} expert loads, got {loads.shape}"
+        )
+    device_loads = np.zeros(placement.num_devices)
+    for expert in range(placement.num_experts):
+        if loads[expert] <= 0:
+            continue
+        replicas = placement.replicas(expert)
+        share = loads[expert] / len(replicas)
+        for device in replicas:
+            device_loads[device] += share
+    return device_loads
+
+
+def load_ratio(device_loads: np.ndarray) -> float:
+    """Peak-to-mean device load (the paper's Max/Avg ratio)."""
+    loads = np.asarray(device_loads, dtype=float)
+    mean = loads.mean()
+    if mean <= 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def imbalance_degree(device_loads: np.ndarray) -> float:
+    """Eq. 2's per-layer imbalance degree: (max - mean) / mean."""
+    return max(0.0, load_ratio(device_loads) - 1.0)

@@ -1,0 +1,58 @@
+"""Plain-text reporting: aligned tables and ASCII bar charts.
+
+The benchmark harness prints every figure/table as text so results are
+reproducible without plotting dependencies.
+"""
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str], values: list[float], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal ASCII bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels for {len(values)} values")
+    if not labels:
+        return ""
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def relative(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline`` (positive = better)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (baseline - value) / baseline
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,46 @@
+"""Expert load balancing strategies (paper Sec. V).
+
+Four strategies, matching the Fig. 15 comparison:
+
+* :class:`NoBalancer` — native placement only.
+* :class:`GreedyBalancer` — EPLB-style invasive balancing: replicate the
+  globally hottest expert onto the globally coldest device, topology-blind.
+* :class:`TopologyAwareBalancer` — Algorithm 1: migrate the hottest
+  device's hottest expert to the *nearest* device that would stay below the
+  current peak heat.
+* :class:`NonInvasiveBalancer` — NI-Balancer: topology-aware source and
+  destination selection, with the weight transfer decomposed into Local
+  (intra-FTD, hidden under the attention all-reduce) and Global (inter-FTD,
+  hidden under the MoE all-to-all) steps that drain cold-link capacity —
+  zero exposed migration latency.
+"""
+
+from repro.balancer.base import Balancer, BalancerConfig, Migration
+from repro.balancer.none import NoBalancer
+from repro.balancer.greedy import GreedyBalancer
+from repro.balancer.topology_aware import TopologyAwareBalancer
+from repro.balancer.ni import NonInvasiveBalancer
+from repro.balancer.heat import (
+    LinkHeat,
+    classify_links,
+    cold_capacity,
+    complementarity,
+)
+from repro.balancer.migration import MigrationSegment, PendingMigration, split_migration
+
+__all__ = [
+    "Balancer",
+    "BalancerConfig",
+    "Migration",
+    "NoBalancer",
+    "GreedyBalancer",
+    "TopologyAwareBalancer",
+    "NonInvasiveBalancer",
+    "LinkHeat",
+    "classify_links",
+    "cold_capacity",
+    "complementarity",
+    "MigrationSegment",
+    "PendingMigration",
+    "split_migration",
+]

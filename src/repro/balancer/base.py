@@ -1,0 +1,188 @@
+"""Balancer interface: load prediction, device heat, migration planning.
+
+A balancer instance manages one MoE layer's :class:`ExpertPlacement`.  It
+predicts expert loads from historical iteration statistics (EWMA — the
+temporal locality of Sec. V-B makes history predictive), derives device
+*heat* (``sum of Load_e / Num_e`` over hosted experts, Algorithm 1), and
+plans shadow-slot migrations.  The Eq. 2 trigger (cumulative imbalance
+over layers vs alpha, migration interval vs beta) lives in the serving
+engine, which coordinates all layers.
+"""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.placement import ExpertPlacement
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class Migration:
+    """A planned expert weight copy into a shadow slot."""
+
+    expert: int
+    src: int
+    dst: int
+    volume: float
+
+    def __post_init__(self) -> None:
+        if self.volume <= 0:
+            raise ValueError(f"migration volume must be positive, got {self.volume}")
+        if self.src == self.dst:
+            raise ValueError(f"migration src == dst == {self.src}")
+
+
+@dataclass(frozen=True)
+class BalancerConfig:
+    """Strategy knobs shared by all balancers.
+
+    Attributes:
+        ewma: weight of the newest observation in load prediction.
+        max_migrations_per_trigger: plan size cap per trigger.
+        drop_fraction: shadow replicas whose per-replica load falls below
+            this fraction of mean device heat are evicted (free: routing
+            simply stops using them; the native copy persists).
+    """
+
+    ewma: float = 0.5
+    max_migrations_per_trigger: int = 8
+    drop_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ewma <= 1.0):
+            raise ValueError(f"ewma must be in (0, 1], got {self.ewma}")
+        if self.max_migrations_per_trigger <= 0:
+            raise ValueError("max_migrations_per_trigger must be positive")
+        if not (0.0 <= self.drop_fraction < 1.0):
+            raise ValueError(f"drop_fraction must be in [0, 1), got {self.drop_fraction}")
+
+
+class Balancer(ABC):
+    """Per-layer balancing strategy over a mutable expert placement."""
+
+    #: Invasive balancers put migration latency on the critical path.
+    invasive: bool = True
+
+    def __init__(
+        self,
+        placement: ExpertPlacement,
+        topology: Topology,
+        expert_bytes: float,
+        config: BalancerConfig | None = None,
+    ) -> None:
+        if expert_bytes <= 0:
+            raise ValueError(f"expert_bytes must be positive, got {expert_bytes}")
+        self.placement = placement
+        self.topology = topology
+        self.expert_bytes = expert_bytes
+        self.config = config or BalancerConfig()
+        self.predicted_loads = np.zeros(placement.num_experts)
+        #: (expert, dst) pairs with an in-flight migration.
+        self.pending: set[tuple[int, int]] = set()
+
+    # -- observation ------------------------------------------------------------
+
+    def observe(self, expert_loads: np.ndarray) -> None:
+        """Fold one iteration's per-expert token counts into the prediction."""
+        loads = np.asarray(expert_loads, dtype=float)
+        if loads.shape != (self.placement.num_experts,):
+            raise ValueError(
+                f"expected {self.placement.num_experts} expert loads, got {loads.shape}"
+            )
+        weight = self.config.ewma
+        if not self.predicted_loads.any():
+            self.predicted_loads = loads.copy()
+        else:
+            self.predicted_loads = (1 - weight) * self.predicted_loads + weight * loads
+
+    # -- heat -------------------------------------------------------------------
+
+    def _replica_counts(self, include_pending: bool) -> np.ndarray:
+        counts = np.array(
+            [self.placement.num_replicas(e) for e in range(self.placement.num_experts)],
+            dtype=float,
+        )
+        if include_pending:
+            for expert, _dst in self.pending:
+                counts[expert] += 1
+        return counts
+
+    def heats(self, include_pending: bool = True) -> np.ndarray:
+        """Device heat: sum of per-replica predicted loads (Algorithm 1)."""
+        num_replicas = self._replica_counts(include_pending)
+        per_replica = np.divide(
+            self.predicted_loads,
+            num_replicas,
+            out=np.zeros_like(self.predicted_loads),
+            where=num_replicas > 0,
+        )
+        heats = np.zeros(self.placement.num_devices)
+        for expert in range(self.placement.num_experts):
+            for device in self.placement.replicas(expert):
+                heats[device] += per_replica[expert]
+            if include_pending:
+                for pending_expert, dst in self.pending:
+                    if pending_expert == expert:
+                        heats[dst] += per_replica[expert]
+        return heats
+
+    def imbalance(self) -> float:
+        """Layer imbalance degree: (max device heat - mean) / mean (Eq. 2)."""
+        heats = self.heats(include_pending=False)
+        mean = heats.mean()
+        if mean <= 0:
+            return 0.0
+        return float((heats.max() - mean) / mean)
+
+    # -- planning ---------------------------------------------------------------
+
+    def _free_slots(self) -> np.ndarray:
+        """Shadow slots free per device, net of in-flight migrations."""
+        free = np.array(
+            [
+                self.placement.shadow_free(device)
+                for device in range(self.placement.num_devices)
+            ],
+            dtype=int,
+        )
+        for _expert, dst in self.pending:
+            free[dst] -= 1
+        return free
+
+    @abstractmethod
+    def plan(self, iteration: int) -> list[Migration]:
+        """Propose migrations given current predictions and placement."""
+
+    def commit(self, migration: Migration) -> None:
+        """Activate a completed migration: the replica starts taking tokens."""
+        self.pending.discard((migration.expert, migration.dst))
+        if not self.placement.hosts(migration.dst, migration.expert):
+            self.placement.add_replica(migration.expert, migration.dst)
+
+    def abandon(self, migration: Migration) -> None:
+        """Drop an in-flight migration (e.g. the target became hot)."""
+        self.pending.discard((migration.expert, migration.dst))
+
+    def evict_stale(self) -> int:
+        """Drop shadow replicas that no longer pay their way; returns count."""
+        heats = self.heats(include_pending=False)
+        mean_heat = heats.mean()
+        if mean_heat <= 0:
+            return 0
+        dropped = 0
+        for device in range(self.placement.num_devices):
+            for expert in list(self.placement.experts_on(device)):
+                if expert in self.placement.native_experts_on(device):
+                    continue
+                per_replica = self.predicted_loads[expert] / self.placement.num_replicas(
+                    expert
+                )
+                if per_replica < self.config.drop_fraction * mean_heat:
+                    self.placement.drop_replica(expert, device)
+                    dropped += 1
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.placement!r})"

@@ -1,0 +1,72 @@
+"""Greedy (EPLB-style) balancing: hottest expert -> coldest device.
+
+The baseline balancer from the paper's evaluation (Sec. VI-C, reference
+[6]).  It is topology-blind: the destination is the globally coldest device
+with a free shadow slot, however far the expert weights must travel — which
+is what makes its invasive migrations expensive on a mesh.
+"""
+
+import numpy as np
+
+from repro.balancer.base import Balancer, Migration
+
+
+class GreedyBalancer(Balancer):
+    """Replicate the globally hottest expert onto the coldest device."""
+
+    invasive = True
+
+    def plan(self, iteration: int) -> list[Migration]:
+        migrations: list[Migration] = []
+        num_replicas = self._replica_counts(include_pending=True)
+        heats = self.heats(include_pending=True)
+        free_slots = self._free_slots()
+
+        for _ in range(self.config.max_migrations_per_trigger):
+            per_replica = self.predicted_loads / num_replicas
+            hottest_expert = int(np.argmax(per_replica))
+            share = per_replica[hottest_expert]
+            if share <= 0:
+                break
+
+            hosts = set(self.placement.replicas(hottest_expert)) | {
+                dst for exp, dst in self.pending if exp == hottest_expert
+            }
+            planned = {m.dst for m in migrations if m.expert == hottest_expert}
+            candidates = [
+                device
+                for device in range(self.placement.num_devices)
+                if device not in hosts
+                and device not in planned
+                and free_slots[device] > 0
+            ]
+            if not candidates:
+                break
+            coldest = min(candidates, key=lambda device: heats[device])
+
+            # Sharing with one more replica lowers the per-replica share;
+            # only migrate when that actually reduces the peak heat.
+            new_share = self.predicted_loads[hottest_expert] / (
+                num_replicas[hottest_expert] + 1
+            )
+            if heats[coldest] + new_share >= heats.max():
+                break
+
+            src = self.placement.replicas(hottest_expert)[0]
+            migrations.append(
+                Migration(
+                    expert=hottest_expert,
+                    src=src,
+                    dst=coldest,
+                    volume=self.expert_bytes,
+                )
+            )
+            self.pending.add((hottest_expert, coldest))
+            free_slots[coldest] -= 1
+            # Update the working copies for the next round.
+            delta = share - new_share
+            for host in hosts:
+                heats[host] -= delta
+            heats[coldest] += new_share
+            num_replicas[hottest_expert] += 1
+        return migrations

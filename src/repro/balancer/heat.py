@@ -1,0 +1,92 @@
+"""Link heat classification (paper Fig. 11).
+
+A link is *hot* during a phase when it carries more than a threshold
+fraction of the busiest link's bytes, *cold* otherwise.  The paper's cold
+links are not necessarily idle: during the entwined all-reduce the
+intra-FTD links "work for one cycle and then remain idle for the next
+cycle" (Sec. V-A) — at most half the intersection links' load — so the
+default threshold is 0.5, i.e. cold means at least 50% spare capacity.
+
+The key observation this module verifies (Fig. 11): under ER-Mapping the
+hot sets of the attention all-reduce and the MoE all-to-all are
+complementary — all intra-FTD links are cold during the all-reduce and all
+inter-FTD links are cold during the all-to-all — which is what lets
+NI-Balancer hide migration traffic.
+"""
+
+from dataclasses import dataclass
+
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class LinkHeat:
+    """Hot/cold partition of a topology's links for one phase."""
+
+    hot: frozenset[tuple[int, int]]
+    cold: frozenset[tuple[int, int]]
+    max_bytes: float
+
+    def is_cold(self, key: tuple[int, int]) -> bool:
+        return key in self.cold
+
+
+def classify_links(
+    topology: Topology,
+    link_bytes: dict[tuple[int, int], float],
+    threshold: float = 0.5,
+) -> LinkHeat:
+    """Partition all links into hot and cold for a phase.
+
+    Args:
+        topology: supplies the full link set (unused links are cold).
+        link_bytes: per-link bytes carried during the phase.
+        threshold: fraction of the busiest link's bytes below which a link
+            counts as cold.
+    """
+    if not (0.0 <= threshold <= 1.0):
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    max_bytes = max(link_bytes.values(), default=0.0)
+    cutoff = max_bytes * threshold
+    hot = frozenset(
+        key for key, volume in link_bytes.items() if volume > cutoff and volume > 0
+    )
+    cold = frozenset(key for key in topology.links if key not in hot)
+    return LinkHeat(hot=hot, cold=cold, max_bytes=max_bytes)
+
+
+def complementarity(first: LinkHeat, second: LinkHeat) -> float:
+    """Fraction of links cold in at least one of the two phases.
+
+    1.0 reproduces the paper's "complementary distribution of cold & hot
+    links": every link has a phase in which migration can borrow it.
+    """
+    all_links = first.hot | first.cold
+    if not all_links:
+        return 1.0
+    covered = sum(
+        1 for key in all_links if key in first.cold or key in second.cold
+    )
+    return covered / len(all_links)
+
+
+def cold_capacity(
+    topology: Topology,
+    heat: LinkHeat,
+    phase_duration: float,
+    link_bytes: dict[tuple[int, int], float] | None = None,
+) -> dict[tuple[int, int], float]:
+    """Spare bytes each cold link can carry while the phase runs.
+
+    Spare capacity = bandwidth * duration minus whatever the phase already
+    put on the link.
+    """
+    if phase_duration < 0:
+        raise ValueError(f"phase_duration must be >= 0, got {phase_duration}")
+    link_bytes = link_bytes or {}
+    capacity = {}
+    for key in heat.cold:
+        link = topology.links[key]
+        used = link_bytes.get(key, 0.0)
+        capacity[key] = max(0.0, link.bandwidth * phase_duration - used)
+    return capacity

@@ -1,0 +1,119 @@
+"""Migration decomposition into Local / Global segments (paper Fig. 11d).
+
+A migration from ``src`` to ``dst`` crosses intra-FTD links (Local) and
+FTD-connection links (Global).  NI-Balancer drains Local segments during
+the attention all-reduce (whose intra-FTD links are cold) and the Global
+segment during the MoE all-to-all (whose inter-FTD links are cold),
+alternating phase by phase — STEP 1/2/3 in the paper's illustration.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.topology.base import Topology
+
+
+class SegmentKind(Enum):
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+@dataclass
+class MigrationSegment:
+    """One contiguous run of same-kind links along a migration path."""
+
+    kind: SegmentKind
+    hops: int
+    min_bandwidth: float
+    remaining: float
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0.0
+
+
+@dataclass
+class PendingMigration:
+    """An in-flight expert weight copy progressing through its segments."""
+
+    expert: int
+    src: int
+    dst: int
+    volume: float
+    segments: list[MigrationSegment] = field(default_factory=list)
+    started_iteration: int = 0
+    completed_iteration: int | None = None
+
+    @property
+    def done(self) -> bool:
+        return all(segment.done for segment in self.segments)
+
+    @property
+    def current_segment(self) -> MigrationSegment | None:
+        for segment in self.segments:
+            if not segment.done:
+                return segment
+        return None
+
+    def advance(self, kind: SegmentKind, budget_bytes: float) -> float:
+        """Drain up to ``budget_bytes`` from the current segment if it
+        matches ``kind``; returns the bytes consumed."""
+        if budget_bytes < 0:
+            raise ValueError(f"budget must be >= 0, got {budget_bytes}")
+        segment = self.current_segment
+        if segment is None or segment.kind is not kind:
+            return 0.0
+        consumed = min(segment.remaining, budget_bytes)
+        segment.remaining -= consumed
+        return consumed
+
+
+def split_migration(
+    topology: Topology,
+    ftd_of,
+    expert: int,
+    src: int,
+    dst: int,
+    volume: float,
+    iteration: int = 0,
+) -> PendingMigration:
+    """Decompose a migration path into Local/Global segments.
+
+    ``ftd_of(device)`` labels FTD membership; links whose endpoints share an
+    FTD are Local, the rest Global.  Mappings without FTDs (``ftd_of``
+    returning ``None``) degrade to a single Global segment — there are no
+    phase-cold intra-tile links to exploit.
+    """
+    if volume <= 0:
+        raise ValueError(f"volume must be positive, got {volume}")
+    path = topology.route(src, dst)
+    segments: list[MigrationSegment] = []
+    for link in path:
+        src_ftd = ftd_of(link.src) if topology.is_device(link.src) else None
+        dst_ftd = ftd_of(link.dst) if topology.is_device(link.dst) else None
+        if src_ftd is not None and src_ftd == dst_ftd:
+            kind = SegmentKind.LOCAL
+        else:
+            kind = SegmentKind.GLOBAL
+        if segments and segments[-1].kind is kind:
+            segments[-1].hops += 1
+            segments[-1].min_bandwidth = min(
+                segments[-1].min_bandwidth, link.bandwidth
+            )
+        else:
+            segments.append(
+                MigrationSegment(
+                    kind=kind,
+                    hops=1,
+                    min_bandwidth=link.bandwidth,
+                    remaining=volume,
+                )
+            )
+    return PendingMigration(
+        expert=expert,
+        src=src,
+        dst=dst,
+        volume=volume,
+        segments=segments,
+        started_iteration=iteration,
+    )

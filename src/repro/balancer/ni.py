@@ -1,0 +1,31 @@
+"""NI-Balancer: non-invasive topology-aware balancing.
+
+Planning reuses Algorithm 1 (topology-aware source/destination selection),
+but migrations are *queued* rather than executed: the serving engine drains
+each migration's Local segments during attention all-reduce phases and its
+Global segment during MoE all-to-all phases, using only cold-link
+capacity.  Because nothing ever lands on the critical path, beta of Eq. 2
+is zero — the balancer may fine-tune shadow slots continuously.
+"""
+
+from repro.balancer.base import BalancerConfig
+from repro.balancer.topology_aware import TopologyAwareBalancer
+
+
+class NonInvasiveBalancer(TopologyAwareBalancer):
+    """Topology-aware planning with hidden, multi-step migrations."""
+
+    invasive = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        explicit_config = kwargs.get("config") is not None or len(args) >= 4
+        super().__init__(*args, **kwargs)
+        # Continuous fine-tuning by default: plan at most a couple of
+        # migrations per trigger, but trigger freely (beta = 0 in the
+        # engine).  An explicit config overrides this.
+        if not explicit_config and self.config.max_migrations_per_trigger > 2:
+            self.config = BalancerConfig(
+                ewma=self.config.ewma,
+                max_migrations_per_trigger=2,
+                drop_fraction=self.config.drop_fraction,
+            )

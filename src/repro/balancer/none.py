@@ -1,0 +1,12 @@
+"""The no-balancing baseline: native placement, never migrates."""
+
+from repro.balancer.base import Balancer, Migration
+
+
+class NoBalancer(Balancer):
+    """Leaves the native expert placement untouched."""
+
+    invasive = False
+
+    def plan(self, iteration: int) -> list[Migration]:
+        return []

@@ -1,0 +1,89 @@
+"""Topology-aware balancing — Algorithm 1 of the paper.
+
+Differences from the greedy baseline, line by line with the paper:
+
+* the migration *source* is the most popular expert on the highest-heat
+  device (line 4) — inference only needs the peak reduced, not uniformity;
+* the candidate set ``cold_d`` is every device that would stay below the
+  current peak after hosting the expert (line 5);
+* among candidates the **topologically nearest** one wins (line 7),
+  minimising migration distance and hence latency.
+"""
+
+import numpy as np
+
+from repro.balancer.base import Balancer, Migration
+
+
+class TopologyAwareBalancer(Balancer):
+    """Algorithm 1: peak-reduction with nearest-destination selection."""
+
+    invasive = True
+
+    def plan(self, iteration: int) -> list[Migration]:
+        migrations: list[Migration] = []
+        num_replicas = self._replica_counts(include_pending=True)
+        heats = self.heats(include_pending=True)
+        free_slots = self._free_slots()
+
+        for _ in range(self.config.max_migrations_per_trigger):
+            hottest_device = int(np.argmax(heats))
+            if heats[hottest_device] <= 0:
+                break
+
+            source_expert = self._hottest_expert_on(hottest_device, num_replicas)
+            if source_expert is None:
+                break
+            share = self.predicted_loads[source_expert] / num_replicas[source_expert]
+            new_share = self.predicted_loads[source_expert] / (
+                num_replicas[source_expert] + 1
+            )
+
+            hosts = set(self.placement.replicas(source_expert)) | {
+                dst for exp, dst in self.pending if exp == source_expert
+            }
+            planned = {m.dst for m in migrations if m.expert == source_expert}
+            cold = [
+                device
+                for device in range(self.placement.num_devices)
+                if device not in hosts
+                and device not in planned
+                and free_slots[device] > 0
+                and heats[device] + new_share < heats[hottest_device]
+            ]
+            if not cold:
+                break
+
+            destination = min(
+                cold, key=lambda device: self.topology.hops(hottest_device, device)
+            )
+            migrations.append(
+                Migration(
+                    expert=source_expert,
+                    src=hottest_device,
+                    dst=destination,
+                    volume=self.expert_bytes,
+                )
+            )
+            self.pending.add((source_expert, destination))
+            free_slots[destination] -= 1
+            delta = share - new_share
+            for host in hosts:
+                heats[host] -= delta
+            heats[destination] += new_share
+            num_replicas[source_expert] += 1
+        return migrations
+
+    def _hottest_expert_on(
+        self, device: int, num_replicas: np.ndarray
+    ) -> int | None:
+        experts = self.placement.experts_on(device)
+        if not experts:
+            return None
+        best = max(
+            experts,
+            key=lambda expert: self.predicted_loads[expert] / num_replicas[expert],
+        )
+        if self.predicted_loads[best] <= 0:
+            return None
+        return best

@@ -1,0 +1,36 @@
+"""Inference engine: compute roofline, iteration latency, serving loop.
+
+The engine composes the substrates: the network simulator prices the
+attention all-reduce and MoE all-to-all under a mapping; the roofline
+prices attention and expert computation; the iteration model overlaps them
+PipeMoE-style (Sec. V-A pipelining); the serving simulator runs the
+iteration loop with a gating workload and a balancer in control of expert
+placement, including the NI-Balancer's hidden migration stream.
+"""
+
+from repro.engine.compute import ComputeModel, RooflineTimes
+from repro.engine.iteration import (
+    EngineConfig,
+    IterationBreakdown,
+    IterationSimulator,
+    pipelined_time,
+)
+from repro.engine.serving import (
+    IterationRecord,
+    ServingConfig,
+    ServingSimulator,
+    ServingTrace,
+)
+
+__all__ = [
+    "ComputeModel",
+    "RooflineTimes",
+    "EngineConfig",
+    "IterationBreakdown",
+    "IterationSimulator",
+    "pipelined_time",
+    "ServingConfig",
+    "ServingSimulator",
+    "ServingTrace",
+    "IterationRecord",
+]

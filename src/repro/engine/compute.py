@@ -1,0 +1,126 @@
+"""Roofline compute/memory model for attention and MoE layers.
+
+The paper profiles FlashInfer kernels on a B200; offline we substitute a
+roofline: compute time = FLOPs / peak, memory time = bytes touched / HBM
+bandwidth.  Decode attention is dominated by KV-cache reads; decode MoE by
+expert weight streaming — the two ratios Fig. 4 tracks.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.models.configs import FP16_BYTES, MoEModelConfig
+
+
+@dataclass(frozen=True)
+class RooflineTimes:
+    """Compute and memory-access components of one kernel invocation."""
+
+    compute: float
+    memory: float
+
+    @property
+    def total(self) -> float:
+        """Serial total — decode kernels stream weights, so no overlap."""
+        return self.compute + self.memory
+
+    @property
+    def memory_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.memory / self.total
+
+
+class ComputeModel:
+    """Prices attention and expert computation on one device."""
+
+    def __init__(self, device: DeviceSpec, model: MoEModelConfig) -> None:
+        self.device = device
+        self.model = model
+
+    # -- attention -------------------------------------------------------------
+
+    def attention_time(
+        self,
+        tokens: int,
+        context_len: int,
+        tp: int,
+        decode: bool = True,
+    ) -> RooflineTimes:
+        """One attention layer on one device of a TP group.
+
+        Args:
+            tokens: tokens processed by the group this iteration.
+            context_len: KV-cache length attended over (decode) or the
+                sequence length being prefilled.
+            tp: tensor-parallel degree splitting heads and weights.
+            decode: decode reads the whole KV cache per token; prefill
+                amortises weight reads over many tokens and attends
+                causally (~half the context on average).
+        """
+        if tokens <= 0 or context_len < 0 or tp <= 0:
+            raise ValueError("tokens/tp must be positive and context_len >= 0")
+        model = self.model
+        effective_context = context_len if decode else context_len / 2
+        flops = tokens * (
+            model.attention_flops_per_token
+            + model.attention_score_flops(int(effective_context))
+        ) / tp
+
+        weight_bytes = model.attention_flops_per_token / 2 * FP16_BYTES / tp
+        if decode:
+            kv_bytes = tokens * context_len * model.kv_bytes_per_token_per_layer / tp
+        else:
+            kv_bytes = tokens * model.kv_bytes_per_token_per_layer / tp
+        return RooflineTimes(
+            compute=flops / self.device.fp16_flops,
+            memory=(weight_bytes + kv_bytes) / self.device.hbm_bandwidth,
+        )
+
+    # -- MoE --------------------------------------------------------------------
+
+    def moe_device_times(
+        self,
+        expert_loads: np.ndarray,
+        placement,
+    ) -> list[RooflineTimes]:
+        """Per-device MoE times for one layer given expert token loads.
+
+        A replicated expert's tokens split equally across its replicas
+        (the Load/Num rule).  Each device streams the weights of every
+        expert it activates once, then computes its token share.
+        """
+        loads = np.asarray(expert_loads, dtype=float)
+        if loads.shape != (placement.num_experts,):
+            raise ValueError(
+                f"expected {placement.num_experts} expert loads, got {loads.shape}"
+            )
+        token_flops = self.model.expert_flops_per_token
+        expert_bytes = self.model.expert_bytes
+
+        device_tokens = np.zeros(placement.num_devices)
+        device_active = np.zeros(placement.num_devices, dtype=int)
+        for expert in range(placement.num_experts):
+            if loads[expert] <= 0:
+                continue
+            replicas = placement.replicas(expert)
+            share = loads[expert] / len(replicas)
+            for device in replicas:
+                device_tokens[device] += share
+                device_active[device] += 1
+
+        return [
+            RooflineTimes(
+                compute=device_tokens[d] * token_flops / self.device.int8_ops,
+                memory=device_active[d] * expert_bytes / self.device.hbm_bandwidth,
+            )
+            for d in range(placement.num_devices)
+        ]
+
+    def moe_peak_time(self, expert_loads: np.ndarray, placement) -> RooflineTimes:
+        """The slowest device's MoE roofline — the layer's critical path."""
+        times = self.moe_device_times(expert_loads, placement)
+        slowest = max(times, key=lambda t: t.total)
+        return slowest

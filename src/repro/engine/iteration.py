@@ -1,0 +1,183 @@
+"""Per-iteration latency model with communication/computation overlap.
+
+One sparse-layer iteration runs two phases (Fig. 11e):
+
+* attention phase — attention compute overlapped with the TP all-reduce;
+* MoE phase — expert compute overlapped with dispatch/combine all-to-all.
+
+Micro-batch pipelining (the paper applies PipeMoE-style stage selection to
+both platforms) hides the shorter of compute/communication behind the
+longer, leaving ``max + min / stages`` per phase.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.compute import ComputeModel, RooflineTimes
+from repro.hardware.device import DeviceSpec
+from repro.mapping.base import Mapping
+from repro.mapping.placement import ExpertPlacement
+from repro.models.configs import MoEModelConfig
+from repro.network.allreduce import CollectiveResult
+from repro.network.alltoall import AllToAllResult, simulate_alltoall
+
+
+def pipelined_time(compute: float, communication: float, stages: int) -> float:
+    """Overlapped phase duration with ``stages`` micro-batches."""
+    if stages <= 0:
+        raise ValueError(f"stages must be positive, got {stages}")
+    longer = max(compute, communication)
+    shorter = min(compute, communication)
+    return longer + shorter / stages
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Workload-shape and overlap knobs for the iteration model.
+
+    Attributes:
+        tokens_per_group: tokens each DP group contributes per iteration
+            (the paper fixes 256 for communication studies).
+        context_len: KV-cache length for decode attention.
+        pipeline_stages: micro-batches for communication overlap.
+        overlap: disable to expose communication serially (ablations).
+        decode: decode vs prefill roofline behaviour.
+    """
+
+    tokens_per_group: int = 256
+    context_len: int = 4096
+    pipeline_stages: int = 4
+    overlap: bool = True
+    decode: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tokens_per_group <= 0:
+            raise ValueError("tokens_per_group must be positive")
+        if self.context_len < 0:
+            raise ValueError("context_len must be >= 0")
+        if self.pipeline_stages <= 0:
+            raise ValueError("pipeline_stages must be positive")
+
+
+@dataclass
+class IterationBreakdown:
+    """Latency components of one sparse layer's iteration."""
+
+    attention: RooflineTimes
+    allreduce: float
+    dispatch: float
+    combine: float
+    moe: RooflineTimes
+    migration_exposed: float = 0.0
+    pipeline_stages: int = 4
+    overlap: bool = True
+
+    @property
+    def alltoall(self) -> float:
+        return self.dispatch + self.combine
+
+    @property
+    def attention_phase(self) -> float:
+        if self.overlap:
+            return pipelined_time(
+                self.attention.total, self.allreduce, self.pipeline_stages
+            )
+        return self.attention.total + self.allreduce
+
+    @property
+    def moe_phase(self) -> float:
+        if self.overlap:
+            return pipelined_time(self.moe.total, self.alltoall, self.pipeline_stages)
+        return self.moe.total + self.alltoall
+
+    @property
+    def total(self) -> float:
+        return self.attention_phase + self.moe_phase + self.migration_exposed
+
+
+@dataclass
+class LayerSimulation:
+    """Breakdown plus the raw collective results (for link heatmaps)."""
+
+    breakdown: IterationBreakdown
+    allreduce_result: CollectiveResult
+    alltoall_result: AllToAllResult
+
+
+class IterationSimulator:
+    """Prices one MoE layer iteration under a mapping and placement."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        model: MoEModelConfig,
+        mapping: Mapping,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.device = device
+        self.model = model
+        self.mapping = mapping
+        self.config = config or EngineConfig()
+        self.compute = ComputeModel(device, model)
+
+    def allreduce_volume(self) -> float:
+        """Bytes all-reduced per TP group: the group's token activations."""
+        return self.config.tokens_per_group * self.model.token_bytes
+
+    def simulate_layer(
+        self,
+        counts: np.ndarray,
+        placement: ExpertPlacement,
+        migration_exposed: float = 0.0,
+    ) -> LayerSimulation:
+        """Simulate one sparse layer.
+
+        Args:
+            counts: (groups, experts) token counts routed this iteration.
+            placement: current expert placement (with replicas).
+            migration_exposed: invasive migration latency charged to this
+                layer's critical path.
+        """
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (self.mapping.dp, self.model.num_experts):
+            raise ValueError(
+                f"counts shape {counts.shape} != "
+                f"({self.mapping.dp}, {self.model.num_experts})"
+            )
+        config = self.config
+
+        attention = self.compute.attention_time(
+            tokens=config.tokens_per_group,
+            context_len=config.context_len,
+            tp=self.mapping.tp,
+            decode=config.decode,
+        )
+        allreduce = self.mapping.simulate_allreduce(self.allreduce_volume())
+
+        demand = counts * self.model.token_bytes
+        alltoall = simulate_alltoall(
+            self.mapping.topology,
+            demand,
+            placement.destinations,
+            self.mapping.token_holders,
+        )
+
+        expert_loads = counts.sum(axis=0)
+        moe = self.compute.moe_peak_time(expert_loads, placement)
+
+        breakdown = IterationBreakdown(
+            attention=attention,
+            allreduce=allreduce.duration,
+            dispatch=alltoall.dispatch.duration,
+            combine=alltoall.combine.duration,
+            moe=moe,
+            migration_exposed=migration_exposed,
+            pipeline_stages=config.pipeline_stages,
+            overlap=config.overlap,
+        )
+        return LayerSimulation(
+            breakdown=breakdown,
+            allreduce_result=allreduce,
+            alltoall_result=alltoall,
+        )

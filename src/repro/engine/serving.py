@@ -1,0 +1,345 @@
+"""Multi-iteration serving simulation with dynamic load balancing.
+
+Runs the inference loop: gating workload -> per-layer expert loads ->
+Eq. 2 trigger -> balancer planning -> migration execution (invasive on the
+critical path, or non-invasively drained through cold links) -> iteration
+latency.  Produces the run-time traces behind Fig. 15 and the aggregate
+comparisons of Fig. 16/17.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.load import device_token_loads, load_ratio
+from repro.balancer.base import Balancer, BalancerConfig, Migration
+from repro.balancer.migration import PendingMigration, SegmentKind, split_migration
+from repro.engine.iteration import (
+    EngineConfig,
+    IterationBreakdown,
+    IterationSimulator,
+    pipelined_time,
+)
+from repro.hardware.device import DeviceSpec
+from repro.mapping.base import Mapping
+from repro.mapping.placement import ExpertPlacement
+from repro.models.configs import MoEModelConfig
+from repro.workload.gating import GatingSimulator
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Serving-loop and Eq. 2 trigger parameters.
+
+    Attributes:
+        num_iterations: iterations to simulate.
+        alpha: Eq. 2 threshold on the imbalance degree summed over layers.
+        beta_iters: minimum iterations between invasive migrations (Eq. 2's
+            delta-t constraint; non-invasive balancers use beta = 0).
+        warmup_iters: iterations before balancing may trigger (load
+            prediction needs history).
+        shadow_slots: shadow capacity per device.
+        migration_side_channel: hide migration behind a dedicated channel
+            (the NVMe path GPU systems use, paper reference [3]) — exposed
+            latency becomes zero even for invasive balancers.
+    """
+
+    num_iterations: int = 150
+    alpha: float = 0.5
+    beta_iters: int = 10
+    warmup_iters: int = 5
+    shadow_slots: int = 1
+    migration_side_channel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        if self.alpha < 0 or self.beta_iters < 0 or self.warmup_iters < 0:
+            raise ValueError("alpha/beta_iters/warmup_iters must be >= 0")
+
+
+@dataclass
+class IterationRecord:
+    """Everything measured in one serving iteration."""
+
+    iteration: int
+    latency: float
+    breakdown: IterationBreakdown
+    max_device_load: float
+    mean_device_load: float
+    migration_exposed: float
+    migrations_started: int
+    migrations_completed: int
+    triggered: bool
+
+    @property
+    def load_ratio(self) -> float:
+        if self.mean_device_load <= 0:
+            return 1.0
+        return self.max_device_load / self.mean_device_load
+
+
+@dataclass
+class ServingTrace:
+    """Full run-time trace plus aggregate statistics."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+    num_sparse_layers: int = 1
+
+    def _steady(self, skip: int) -> list[IterationRecord]:
+        return self.records[skip:] if len(self.records) > skip else self.records
+
+    def mean_latency(self, skip: int = 0) -> float:
+        steady = self._steady(skip)
+        return float(np.mean([r.latency for r in steady]))
+
+    def mean_load_ratio(self, skip: int = 0) -> float:
+        steady = self._steady(skip)
+        return float(np.mean([r.load_ratio for r in steady]))
+
+    def mean_component(self, component: str, skip: int = 0) -> float:
+        """Mean of a per-layer breakdown component ('alltoall', 'moe', ...)."""
+        steady = self._steady(skip)
+        values = []
+        for record in steady:
+            if component == "moe":
+                values.append(record.breakdown.moe.total)
+            elif component == "moe_compute":
+                values.append(record.breakdown.moe.compute)
+            elif component == "moe_memory":
+                values.append(record.breakdown.moe.memory)
+            elif component == "alltoall":
+                values.append(record.breakdown.alltoall)
+            elif component == "allreduce":
+                values.append(record.breakdown.allreduce)
+            elif component == "attention":
+                values.append(record.breakdown.attention.total)
+            else:
+                raise ValueError(f"unknown component {component!r}")
+        return float(np.mean(values))
+
+    def total_migration_overhead(self) -> float:
+        return sum(record.migration_exposed for record in self.records)
+
+    def migration_overhead_fraction(self, skip: int = 0) -> float:
+        steady = self._steady(skip)
+        total = sum(record.latency for record in steady)
+        if total <= 0:
+            return 0.0
+        return sum(record.migration_exposed for record in steady) / total
+
+    def num_interruptions(self) -> int:
+        return sum(1 for record in self.records if record.migration_exposed > 0)
+
+    def num_migrations(self) -> int:
+        return sum(record.migrations_started for record in self.records)
+
+
+class ServingSimulator:
+    """The serving loop: workload -> balancer -> iteration latency."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        model: MoEModelConfig,
+        mapping: Mapping,
+        workload: GatingSimulator,
+        balancer_cls: type[Balancer],
+        engine_config: EngineConfig | None = None,
+        serving_config: ServingConfig | None = None,
+        balancer_config: BalancerConfig | None = None,
+    ) -> None:
+        self.device = device
+        self.model = model
+        self.mapping = mapping
+        self.workload = workload
+        self.serving_config = serving_config or ServingConfig()
+        self.engine_config = engine_config or EngineConfig(
+            tokens_per_group=workload.tokens_per_group
+        )
+        self.simulator = IterationSimulator(device, model, mapping, self.engine_config)
+
+        num_devices = mapping.topology.num_devices
+        self.balancers: list[Balancer] = []
+        for _ in range(workload.num_layers):
+            placement = ExpertPlacement(
+                model.num_experts,
+                num_devices,
+                shadow_slots=self.serving_config.shadow_slots,
+            )
+            self.balancers.append(
+                balancer_cls(
+                    placement,
+                    mapping.topology,
+                    expert_bytes=model.expert_bytes,
+                    config=balancer_config,
+                )
+            )
+        #: (layer, migration, in-flight state) for non-invasive draining.
+        self._in_flight: list[tuple[int, Migration, PendingMigration]] = []
+        self._last_migration_iter = -(10**9)
+
+    @property
+    def invasive(self) -> bool:
+        return self.balancers[0].invasive
+
+    # -- migration pricing -------------------------------------------------------
+
+    def _migration_path_time(self, migration: Migration) -> float:
+        """Store-and-forward weight-copy latency on the critical path."""
+        path = self.mapping.topology.route(migration.src, migration.dst)
+        return sum(
+            migration.volume / link.bandwidth + link.latency for link in path
+        )
+
+    def _ftd_of(self, device: int):
+        ftd_fn = getattr(self.mapping, "ftd_of", None)
+        if ftd_fn is None:
+            return None
+        return ftd_fn(device)
+
+    # -- the loop -----------------------------------------------------------------
+
+    def run(self) -> ServingTrace:
+        trace = ServingTrace(num_sparse_layers=self.model.num_sparse_layers)
+        for _ in range(self.serving_config.num_iterations):
+            trace.records.append(self._step())
+        return trace
+
+    def _step(self) -> IterationRecord:
+        config = self.serving_config
+        iteration = self.workload.iteration
+        counts = self.workload.next_counts()
+        layer_loads = counts.sum(axis=1)
+
+        for layer, balancer in enumerate(self.balancers):
+            balancer.observe(layer_loads[layer])
+
+        exposed, started = self._maybe_rebalance(iteration)
+
+        # Full network + compute simulation on layer 0; per-layer MoE
+        # rooflines for the rest (communication volumes barely differ by
+        # layer, so layer-0 collectives price every layer).
+        sim = self.simulator.simulate_layer(counts[0], self.balancers[0].placement)
+        breakdown = sim.breakdown
+
+        layer_totals = [breakdown.attention_phase + breakdown.moe_phase]
+        for layer in range(1, self.workload.num_layers):
+            moe = self.simulator.compute.moe_peak_time(
+                layer_loads[layer], self.balancers[layer].placement
+            )
+            if self.engine_config.overlap:
+                moe_phase = pipelined_time(
+                    moe.total, breakdown.alltoall, self.engine_config.pipeline_stages
+                )
+            else:
+                moe_phase = moe.total + breakdown.alltoall
+            layer_totals.append(breakdown.attention_phase + moe_phase)
+
+        latency = (
+            self.model.num_sparse_layers * float(np.mean(layer_totals)) + exposed
+        )
+
+        completed = self._drain_migrations(
+            ar_duration=breakdown.allreduce * self.model.num_sparse_layers,
+            a2a_duration=breakdown.alltoall * self.model.num_sparse_layers,
+        )
+
+        max_load, mean_load = self._device_load_stats(layer_loads)
+        return IterationRecord(
+            iteration=iteration,
+            latency=latency,
+            breakdown=breakdown,
+            max_device_load=max_load,
+            mean_device_load=mean_load,
+            migration_exposed=exposed,
+            migrations_started=started,
+            migrations_completed=completed,
+            triggered=started > 0,
+        )
+
+    # -- balancing ----------------------------------------------------------------
+
+    def _maybe_rebalance(self, iteration: int) -> tuple[float, int]:
+        config = self.serving_config
+        if iteration < config.warmup_iters:
+            return 0.0, 0
+        cumulative = sum(balancer.imbalance() for balancer in self.balancers)
+        if cumulative <= config.alpha:
+            return 0.0, 0
+        beta = 0 if not self.invasive else config.beta_iters
+        if iteration - self._last_migration_iter < beta:
+            return 0.0, 0
+
+        exposed = 0.0
+        started = 0
+        for layer, balancer in enumerate(self.balancers):
+            balancer.evict_stale()
+            for migration in balancer.plan(iteration):
+                started += 1
+                if self.invasive and not config.migration_side_channel:
+                    exposed += self._migration_path_time(migration)
+                    balancer.commit(migration)
+                elif self.invasive:
+                    balancer.commit(migration)
+                else:
+                    pending = split_migration(
+                        self.mapping.topology,
+                        self._ftd_of,
+                        migration.expert,
+                        migration.src,
+                        migration.dst,
+                        migration.volume,
+                        iteration=iteration,
+                    )
+                    self._in_flight.append((layer, migration, pending))
+        if started:
+            self._last_migration_iter = iteration
+        return exposed, started
+
+    def _drain_migrations(self, ar_duration: float, a2a_duration: float) -> int:
+        """Advance non-invasive migrations through the iteration's cold windows."""
+        if not self._in_flight:
+            return 0
+        completed = 0
+        remaining: list[tuple[int, Migration, PendingMigration]] = []
+        for layer, migration, pending in self._in_flight:
+            # Local segments ride the attention all-reduce windows, the
+            # Global segment the all-to-all windows; the layer-by-layer
+            # alternation means all three segments can progress within one
+            # iteration when budgets allow.
+            for kind, duration in (
+                (SegmentKind.LOCAL, ar_duration),
+                (SegmentKind.GLOBAL, a2a_duration),
+                (SegmentKind.LOCAL, ar_duration),
+            ):
+                segment = pending.current_segment
+                if segment is None:
+                    break
+                if segment.kind is not kind:
+                    continue
+                # Cold links retain >= 50% spare capacity (they work at
+                # most every other cycle), so migration may borrow half
+                # the link bandwidth over the phase window.
+                budget = 0.5 * duration * segment.min_bandwidth
+                pending.advance(kind, budget)
+            if pending.done:
+                self.balancers[layer].commit(migration)
+                completed += 1
+            else:
+                remaining.append((layer, migration, pending))
+        self._in_flight = remaining
+        return completed
+
+    # -- stats ----------------------------------------------------------------------
+
+    def _device_load_stats(self, layer_loads: np.ndarray) -> tuple[float, float]:
+        max_loads = []
+        mean_loads = []
+        for layer, balancer in enumerate(self.balancers):
+            device_loads = device_token_loads(
+                layer_loads[layer], balancer.placement
+            )
+            max_loads.append(device_loads.max())
+            mean_loads.append(device_loads.mean())
+        return float(np.mean(max_loads)), float(np.mean(mean_loads))

@@ -1,0 +1,20 @@
+"""Hardware substrate: device specifications and platform presets.
+
+The paper's evaluation assumes every compute die — whether a GPU in a DGX
+node, a GB200 die in NVL72, or a die bonded onto a wafer — is equivalent to
+an NVIDIA B200 (Sec. VI-A1).  Platforms differ only in how those dies are
+interconnected, which is what :mod:`repro.topology` models.
+"""
+
+from repro.hardware.device import DeviceSpec, B200
+from repro.hardware.interconnect import InterconnectSpec, WSC_LINK, WSC_CROSS_WAFER, NVLINK, INFINIBAND
+
+__all__ = [
+    "DeviceSpec",
+    "B200",
+    "InterconnectSpec",
+    "WSC_LINK",
+    "WSC_CROSS_WAFER",
+    "NVLINK",
+    "INFINIBAND",
+]

@@ -1,0 +1,66 @@
+"""Interconnect link classes used by the platform presets.
+
+Bandwidths are *per direction per link* in bytes/s; latencies are the
+per-hop link latency term of Eq. 1 in seconds.  The presets derive from the
+paper's evaluation setup (Sec. VI-A1):
+
+* WSC die-to-die: 8 TB/s bidirectional per die.  A mesh die has four
+  neighbours, so each of the four links carries 1 TB/s in each direction.
+* WSC cross-wafer: 9 TB/s bidirectional per wafer border, shared by the
+  border's edge dies.
+* NVLink 5 (B200/GB200): 1.8 TB/s bidirectional per GPU -> 0.9 TB/s per
+  direction into the NVSwitch fabric.
+* InfiniBand (DGX scale-out): 400 Gb/s NIC per GPU -> 50 GB/s per direction.
+"""
+
+from dataclasses import dataclass
+
+TERA = 1e12
+GIGA = 1e9
+MICRO = 1e-6
+NANO = 1e-9
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A link class: per-direction bandwidth plus per-hop latency."""
+
+    name: str
+    bandwidth: float
+    link_latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.link_latency < 0:
+            raise ValueError(f"link_latency must be >= 0, got {self.link_latency}")
+
+    def transfer_time(self, volume: float, hops: int = 1) -> float:
+        """Eq. 1 for a single uncongested flow: (v/bw + lat) * hops."""
+        if volume < 0:
+            raise ValueError(f"volume must be >= 0, got {volume}")
+        if hops < 0:
+            raise ValueError(f"hops must be >= 0, got {hops}")
+        return (volume / self.bandwidth + self.link_latency) * hops
+
+
+#: On-wafer die-to-die link (one of four per die).
+WSC_LINK = InterconnectSpec(
+    name="wsc-die-link", bandwidth=1.0 * TERA, link_latency=50 * NANO
+)
+
+#: Cross-wafer border, aggregate for one border.  Divide by the number of
+#: edge dies to obtain per-link bandwidth when constructing topologies.
+WSC_CROSS_WAFER = InterconnectSpec(
+    name="wsc-cross-wafer-border", bandwidth=4.5 * TERA, link_latency=150 * NANO
+)
+
+#: NVLink into the node/rack switch fabric.
+NVLINK = InterconnectSpec(
+    name="nvlink", bandwidth=0.9 * TERA, link_latency=300 * NANO
+)
+
+#: InfiniBand scale-out NIC, per GPU.
+INFINIBAND = InterconnectSpec(
+    name="infiniband", bandwidth=50 * GIGA, link_latency=2.0 * MICRO
+)

@@ -1,0 +1,293 @@
+"""Mapping interface and shared token-holder logic."""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.network.allreduce import (
+    CollectiveResult,
+    ring_allreduce,
+    ring_reduce_scatter,
+)
+from repro.topology.base import Topology
+from repro.topology.mesh import MeshTopology
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Attention-layer parallelism for one cluster.
+
+    ``tp_shape`` factorises TP over the mesh dimensions, e.g. TP=4 as (2, 2)
+    or (4, 1); it is ignored by switched topologies.  EP always equals the
+    device count in this study (Sec. III-A), so it is derived, not stored.
+    """
+
+    tp: int
+    dp: int
+    tp_shape: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.tp <= 0 or self.dp <= 0:
+            raise ValueError(f"tp and dp must be positive, got tp={self.tp} dp={self.dp}")
+        if self.tp_shape is not None:
+            tpx, tpy = self.tp_shape
+            if tpx * tpy != self.tp:
+                raise ValueError(
+                    f"tp_shape {self.tp_shape} does not factorise tp={self.tp}"
+                )
+
+    @property
+    def num_devices(self) -> int:
+        return self.tp * self.dp
+
+
+class Mapping(ABC):
+    """Assignment of TP groups to devices plus collective schedules."""
+
+    #: Entwined rings are time-staggered, so intersecting rings never
+    #: contend (Sec. IV-B2).  Baseline rings are link-disjoint anyway.
+    staggered_rings: bool = False
+
+    def __init__(
+        self,
+        topology: Topology,
+        parallelism: ParallelismConfig,
+        retain_allgather: bool = True,
+    ) -> None:
+        if parallelism.num_devices != topology.num_devices:
+            raise ValueError(
+                f"parallelism covers {parallelism.num_devices} devices but the "
+                f"topology has {topology.num_devices}"
+            )
+        self.topology = topology
+        self.parallelism = parallelism
+        self.retain_allgather = retain_allgather
+        self._tp_groups = self._build_tp_groups()
+        self._validate_groups()
+        self._group_of: dict[int, int] = {}
+        for gid, group in enumerate(self._tp_groups):
+            for member in group:
+                self._group_of[member] = gid
+
+    @property
+    def tp(self) -> int:
+        return self.parallelism.tp
+
+    @property
+    def dp(self) -> int:
+        return self.parallelism.dp
+
+    @property
+    def tp_groups(self) -> list[list[int]]:
+        """TP groups in ring-traversal order (consecutive = ring neighbours)."""
+        return self._tp_groups
+
+    def tp_group_of(self, device: int) -> int:
+        return self._group_of[device]
+
+    @abstractmethod
+    def _build_tp_groups(self) -> list[list[int]]:
+        """Return the DP groups, each a ring-ordered list of TP devices."""
+
+    def _validate_groups(self) -> None:
+        seen: set[int] = set()
+        if len(self._tp_groups) != self.dp:
+            raise AssertionError(
+                f"built {len(self._tp_groups)} groups, expected dp={self.dp}"
+            )
+        for group in self._tp_groups:
+            if len(group) != self.tp:
+                raise AssertionError(f"group size {len(group)} != tp={self.tp}")
+            seen.update(group)
+        if seen != set(self.topology.devices):
+            raise AssertionError("TP groups do not partition the device set")
+
+    # -- token holders (all-to-all sources) ---------------------------------
+
+    #: Exponent of the inverse-distance weighting used with all-gather;
+    #: higher concentrates fetches on the nearest replica.
+    locality_power: float = 2.0
+
+    def token_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """Devices to pull group ``group``'s tokens from, for fetcher ``dest``.
+
+        With all-gather retained every group member replicates the group's
+        tokens; the fetcher splits its pull across members with
+        inverse-distance weights — both the "shorter distance" and "more
+        source options" benefits of Fig. 9.  Without all-gather the tokens
+        stay sharded 1/TP per member and every shard must come from its
+        owner, however far.
+        """
+        if self.retain_allgather:
+            return self._weighted_members(group, dest)
+        members = self._tp_groups[group]
+        fraction = 1.0 / len(members)
+        return [(member, fraction) for member in members]
+
+    @lru_cache(maxsize=None)
+    def _weighted_members_cached(
+        self, group: int, dest: int
+    ) -> tuple[tuple[int, float], ...]:
+        members = self._tp_groups[group]
+        weights = [
+            (1.0 / (1 + self.topology.hops(member, dest))) ** self.locality_power
+            for member in members
+        ]
+        total = sum(weights)
+        return tuple(
+            (member, weight / total) for member, weight in zip(members, weights)
+        )
+
+    def _weighted_members(self, group: int, dest: int) -> list[tuple[int, float]]:
+        return list(self._weighted_members_cached(group, dest))
+
+    @lru_cache(maxsize=None)
+    def _nearest_members_cached(self, group: int, dest: int) -> tuple[tuple[int, float], ...]:
+        members = self._tp_groups[group]
+        distances = [self.topology.hops(member, dest) for member in members]
+        best = min(distances)
+        nearest = [m for m, d in zip(members, distances) if d == best]
+        fraction = 1.0 / len(nearest)
+        return tuple((member, fraction) for member in nearest)
+
+    def _nearest_members(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """Nearest-member holders — the paper's conceptual FTD assumption."""
+        return list(self._nearest_members_cached(group, dest))
+
+    def analysis_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """Holders for FTD geometry analysis (Sec. IV-A assumes nearest)."""
+        return self._nearest_members(group, dest)
+
+    # -- attention all-reduce -------------------------------------------------
+
+    def simulate_allreduce(self, volume_per_group: float) -> CollectiveResult:
+        """Cost the attention-layer all-reduce under this mapping.
+
+        With all-gather dropped (the Fig. 14b ablation) only the
+        reduce-scatter half runs.
+        """
+        if self.retain_allgather:
+            return ring_allreduce(
+                self.topology,
+                self._tp_groups,
+                volume_per_group,
+                staggered=self.staggered_rings,
+            )
+        return ring_reduce_scatter(
+            self.topology,
+            self._tp_groups,
+            volume_per_group,
+            staggered=self.staggered_rings,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(tp={self.tp}, dp={self.dp}, "
+            f"topology={self.topology!r})"
+        )
+
+
+class MeshMapping(Mapping):
+    """Mapping over a 2-D mesh with an explicit TP factorisation.
+
+    Provides the FTD bookkeeping shared by the baseline and ER mappings.
+    Subclasses must populate ``self._ftds`` (list of device lists) during
+    ``_build_tp_groups`` or leave it ``None`` when FTDs are not defined.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        parallelism: ParallelismConfig,
+        retain_allgather: bool = True,
+    ) -> None:
+        if not isinstance(topology, MeshTopology):
+            raise TypeError(f"MeshMapping needs a MeshTopology, got {type(topology).__name__}")
+        if parallelism.tp_shape is None:
+            raise ValueError("mesh mappings require an explicit tp_shape")
+        tpx, tpy = parallelism.tp_shape
+        if topology.height % tpx or topology.width % tpy:
+            raise ValueError(
+                f"tp_shape {parallelism.tp_shape} does not tile a "
+                f"{topology.height}x{topology.width} mesh"
+            )
+        self._ftds: list[list[int]] | None = None
+        super().__init__(topology, parallelism, retain_allgather)
+        self._ftd_index: dict[int, int] | None = None
+        if self._ftds is not None:
+            self._ftd_index = {}
+            for fid, members in enumerate(self._ftds):
+                for member in members:
+                    self._ftd_index[member] = fid
+
+    @property
+    def mesh(self) -> MeshTopology:
+        assert isinstance(self.topology, MeshTopology)
+        return self.topology
+
+    @property
+    def tp_shape(self) -> tuple[int, int]:
+        assert self.parallelism.tp_shape is not None
+        return self.parallelism.tp_shape
+
+    @property
+    def ftds(self) -> list[list[int]] | None:
+        """Full Token Domains when the mapping defines them (ER only)."""
+        return self._ftds
+
+    def ftd_of(self, device: int) -> int | None:
+        if self._ftd_index is None:
+            return None
+        return self._ftd_index[device]
+
+    def token_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """FTD-confined fetch when the mapping defines FTDs.
+
+        Under ER-Mapping every FTD tile contains exactly one member of each
+        TP group, and the paper confines dispatch/combine to the fetcher's
+        own tile ("dispatch and combine happen within FTD") — even when a
+        member of a neighbouring tile is equidistant, crossing the tile
+        boundary would reintroduce the congestion ER-Mapping eliminates.
+        """
+        if self.retain_allgather and self._ftd_index is not None:
+            member = self._member_in_ftd(group, self._ftd_index[dest])
+            if member is not None:
+                return [(member, 1.0)]
+        return super().token_holders(group, dest)
+
+    def analysis_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """FTD analysis follows the routing rule when tiles are defined."""
+        if self._ftd_index is not None:
+            return self.token_holders(group, dest)
+        return self._nearest_members(group, dest)
+
+    @lru_cache(maxsize=None)
+    def _member_in_ftd(self, group: int, ftd: int) -> int | None:
+        assert self._ftds is not None
+        tile = set(self._ftds[ftd])
+        in_tile = [m for m in self.tp_groups[group] if m in tile]
+        if len(in_tile) == 1:
+            return in_tile[0]
+        return None
+
+
+def snake_order(cells: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Boustrophedon order over grid cells so consecutive cells are adjacent.
+
+    ``cells`` must form a full rectangle; the result snakes row by row,
+    reversing every other row, which makes it a Hamiltonian path whose
+    consecutive elements differ by one grid step — the property ring
+    collectives need.
+    """
+    if not cells:
+        return []
+    rows: dict[int, list[tuple[int, int]]] = {}
+    for cell in cells:
+        rows.setdefault(cell[0], []).append(cell)
+    ordered: list[tuple[int, int]] = []
+    for index, row in enumerate(sorted(rows)):
+        row_cells = sorted(rows[row], key=lambda cell: cell[1])
+        if index % 2 == 1:
+            row_cells.reverse()
+        ordered.extend(row_cells)
+    return ordered

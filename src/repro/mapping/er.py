@@ -1,0 +1,61 @@
+"""Entwined Ring Mapping (paper Fig. 10a).
+
+Given an ``N x M`` mesh and TP factorised as ``(tpx, tpy)``:
+
+* FTD tiles have shape ``(a, b) = (N / tpx, M / tpy)`` and there are
+  ``tpx * tpy`` of them;
+* TP group ``(i, j)`` is the residue class ``{D[x, y] | x % a == i,
+  y % b == j}`` — one member inside every FTD tile.
+
+Every FTD therefore contains exactly one member of each TP group, so the
+MoE all-to-all resolves entirely inside compact, pairwise-disjoint tiles.
+The trade-off is that ring neighbours inside a TP group are ``a`` (or
+``b``) hops apart: the entwined two-hop rings of Fig. 8d, which the
+time-staggered schedule keeps conflict-free.
+"""
+
+from repro.mapping.base import MeshMapping, snake_order
+from repro.topology.mesh import Coord
+
+
+class ERMapping(MeshMapping):
+    """Entwined-ring (residue-class) TP groups on a mesh."""
+
+    staggered_rings = True
+
+    def _build_tp_groups(self) -> list[list[int]]:
+        tpx, tpy = self.parallelism.tp_shape
+        mesh = self.topology
+        a = mesh.height // tpx
+        b = mesh.width // tpy
+        self._ftd_shape = (a, b)
+
+        groups: list[list[int]] = []
+        for i in range(a):
+            for j in range(b):
+                # Member (p, q) sits at (i + p*a, j + q*b): snake over the
+                # (p, q) grid so ring neighbours are one stride apart.
+                cells = [(p, q) for p in range(tpx) for q in range(tpy)]
+                ordered = snake_order(cells)
+                groups.append(
+                    [
+                        mesh.device_at(Coord(i + p * a, j + q * b))
+                        for p, q in ordered
+                    ]
+                )
+
+        self._ftds = []
+        for p in range(tpx):
+            for q in range(tpy):
+                members = [
+                    mesh.device_at(Coord(p * a + dx, q * b + dy))
+                    for dx in range(a)
+                    for dy in range(b)
+                ]
+                self._ftds.append(members)
+        return groups
+
+    @property
+    def ftd_shape(self) -> tuple[int, int]:
+        """The ``(a, b)`` tile shape of every FTD."""
+        return self._ftd_shape

@@ -1,0 +1,44 @@
+"""GPU-cluster mapping: TP groups packed inside switch domains.
+
+On DGX clusters the TP group always stays inside one NVSwitch node (the
+universal deployment practice the paper baselines against), so consecutive
+device ids form each group.  On NVL72 every device shares one fabric, so
+the grouping is unconstrained and consecutive ids remain the natural
+choice.
+"""
+
+from repro.mapping.base import Mapping, ParallelismConfig
+from repro.topology.switched import SwitchedTopology
+
+
+class GPUMapping(Mapping):
+    """Consecutive-id TP groups on a switched topology."""
+
+    staggered_rings = False
+
+    def __init__(
+        self,
+        topology: SwitchedTopology,
+        parallelism: ParallelismConfig,
+        retain_allgather: bool = True,
+    ) -> None:
+        if not isinstance(topology, SwitchedTopology):
+            raise TypeError(
+                f"GPUMapping needs a SwitchedTopology, got {type(topology).__name__}"
+            )
+        if topology.num_groups > 1:
+            per_node = topology.devices_per_group
+            if parallelism.tp > per_node or per_node % parallelism.tp:
+                raise ValueError(
+                    f"tp={parallelism.tp} does not pack into "
+                    f"{per_node}-device nodes; cross-node TP is not deployed "
+                    "in the paper's baselines"
+                )
+        super().__init__(topology, parallelism, retain_allgather)
+
+    def _build_tp_groups(self) -> list[list[int]]:
+        tp = self.parallelism.tp
+        return [
+            list(range(start, start + tp))
+            for start in range(0, self.topology.num_devices, tp)
+        ]

@@ -1,0 +1,154 @@
+"""Hierarchical ER-Mapping for multi-WSC systems (paper Fig. 10c).
+
+Each wafer runs its own ER-Mapping (TP groups never cross a wafer border).
+The attention all-reduce splits into two hierarchical phases:
+
+1. intra-wafer reduce-scatter over the entwined rings — afterwards every
+   device owns a distinct 1/TP shard of its group's tokens, so the whole
+   wafer collectively holds every local token exactly once ("the entire
+   wafer functions as a unified FTD");
+2. inter-wafer all-gather along mirror-device rings — afterwards every
+   wafer holds the corresponding shards of *all* wafers' tokens.
+
+The MoE all-to-all then fetches each token shard from its unique on-wafer
+holder, never crossing a wafer border.
+"""
+
+from repro.mapping.base import MeshMapping, ParallelismConfig, snake_order
+from repro.network.allreduce import CollectiveResult, _run_ring_steps
+from repro.topology.mesh import Coord, MultiWaferTopology
+
+
+class HierarchicalERMapping(MeshMapping):
+    """Per-wafer ER-Mapping with hierarchical reduce-scatter/all-gather."""
+
+    staggered_rings = True
+
+    def __init__(
+        self,
+        topology: MultiWaferTopology,
+        parallelism: ParallelismConfig,
+        retain_allgather: bool = True,
+    ) -> None:
+        if not isinstance(topology, MultiWaferTopology):
+            raise TypeError(
+                f"HierarchicalERMapping needs a MultiWaferTopology, "
+                f"got {type(topology).__name__}"
+            )
+        super().__init__(topology, parallelism, retain_allgather)
+
+    @property
+    def wafer_topology(self) -> MultiWaferTopology:
+        assert isinstance(self.topology, MultiWaferTopology)
+        return self.topology
+
+    def _build_tp_groups(self) -> list[list[int]]:
+        tpx, tpy = self.parallelism.tp_shape
+        mesh: MultiWaferTopology = self.topology
+        if mesh.wafer_height % tpx or mesh.wafer_width % tpy:
+            raise ValueError(
+                f"tp_shape {self.parallelism.tp_shape} does not tile a "
+                f"{mesh.wafer_height}x{mesh.wafer_width} wafer"
+            )
+        a = mesh.wafer_height // tpx
+        b = mesh.wafer_width // tpy
+        self._ftd_shape = (a, b)
+
+        groups: list[list[int]] = []
+        self._ftds = []
+        for wafer in range(mesh.num_wafers):
+            col0 = wafer * mesh.wafer_width
+            for i in range(a):
+                for j in range(b):
+                    ordered = snake_order(
+                        [(p, q) for p in range(tpx) for q in range(tpy)]
+                    )
+                    groups.append(
+                        [
+                            mesh.device_at(Coord(i + p * a, col0 + j + q * b))
+                            for p, q in ordered
+                        ]
+                    )
+            for p in range(tpx):
+                for q in range(tpy):
+                    self._ftds.append(
+                        [
+                            mesh.device_at(Coord(p * a + dx, col0 + q * b + dy))
+                            for dx in range(a)
+                            for dy in range(b)
+                        ]
+                    )
+        return groups
+
+    def wafer_of_group(self, group: int) -> int:
+        return self.wafer_topology.wafer_of(self.tp_groups[group][0])
+
+    # -- token holders --------------------------------------------------------
+
+    def token_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """Pull each 1/TP shard from its mirror device on the fetcher's wafer.
+
+        After the inter-wafer all-gather, the shard that group ``group``'s
+        member holds at local coordinate ``c`` is replicated at local
+        coordinate ``c`` of every wafer; the fetcher uses its own wafer's
+        copy, keeping all dispatch traffic on-wafer.
+        """
+        mesh = self.wafer_topology
+        dest_wafer = mesh.wafer_of(dest)
+        col0 = dest_wafer * mesh.wafer_width
+        holders = []
+        fraction = 1.0 / self.tp
+        for member in self.tp_groups[group]:
+            local = mesh.local_coord(member)
+            mirror = mesh.device_at(Coord(local.x, col0 + local.y))
+            holders.append((mirror, fraction))
+        return holders
+
+    # -- hierarchical all-reduce ----------------------------------------------
+
+    def simulate_allreduce(self, volume_per_group: float) -> CollectiveResult:
+        """Intra-wafer entwined reduce-scatter + inter-wafer all-gather."""
+        mesh = self.wafer_topology
+        reduce_scatter = _run_ring_steps(
+            self.topology,
+            self.tp_groups,
+            volume_per_group,
+            num_steps=self.tp - 1,
+            staggered=True,
+        )
+        if mesh.num_wafers == 1:
+            return reduce_scatter
+
+        # Inter-wafer all-gather along the wafer row: every device exchanges
+        # shards with its mirror on the adjacent wafers, bidirectionally, in
+        # (num_wafers - 1) pipelined steps — a line all-gather, with no
+        # wrap-around flow crossing the whole row.
+        shard = volume_per_group / self.tp
+        all_gather = self._line_allgather_across_wafers(shard)
+        return reduce_scatter.merged_with(all_gather)
+
+    def _line_allgather_across_wafers(self, shard: float) -> CollectiveResult:
+        from repro.network.phase import simulate_phase
+        from repro.network.traffic import TrafficMatrix
+
+        mesh = self.wafer_topology
+        step_traffic = TrafficMatrix()
+        for x in range(mesh.wafer_height):
+            for y in range(mesh.wafer_width):
+                for wafer in range(mesh.num_wafers - 1):
+                    east_src = mesh.device_at(Coord(x, wafer * mesh.wafer_width + y))
+                    east_dst = mesh.device_at(
+                        Coord(x, (wafer + 1) * mesh.wafer_width + y)
+                    )
+                    step_traffic.add(east_src, east_dst, shard)
+                    step_traffic.add(east_dst, east_src, shard)
+        step = simulate_phase(self.topology, step_traffic)
+        num_steps = mesh.num_wafers - 1
+        return CollectiveResult(
+            duration=step.duration * num_steps,
+            num_steps=num_steps,
+            link_bytes={
+                key: volume * num_steps for key, volume in step.link_bytes.items()
+            },
+            total_volume=step.total_volume * num_steps,
+        )

@@ -1,0 +1,135 @@
+"""Expert placement: native experts plus shadow-slot replicas.
+
+Native placement is the uniform EP layout (expert ``e`` lives on device
+``e * D // E``).  Balancers replicate hot experts into other devices'
+*shadow slots* (Fig. 7a); a replicated expert's tokens split equally across
+its replicas, mirroring the ``Load_e / Num_e`` sharing rule of
+Algorithm 1.
+"""
+
+import copy
+
+
+class ExpertPlacement:
+    """Mutable expert -> device assignment with bounded shadow capacity."""
+
+    def __init__(
+        self,
+        num_experts: int,
+        num_devices: int,
+        shadow_slots: int = 1,
+    ) -> None:
+        if num_experts <= 0 or num_devices <= 0:
+            raise ValueError("num_experts and num_devices must be positive")
+        if shadow_slots < 0:
+            raise ValueError(f"shadow_slots must be >= 0, got {shadow_slots}")
+        self.num_experts = num_experts
+        self.num_devices = num_devices
+        self.shadow_slots = shadow_slots
+        self._native: list[list[int]] = [[] for _ in range(num_devices)]
+        self._shadow: list[list[int]] = [[] for _ in range(num_devices)]
+        self._replicas: dict[int, list[int]] = {}
+        for expert in range(num_experts):
+            device = self.native_device(expert)
+            self._native[device].append(expert)
+            self._replicas[expert] = [device]
+
+    # -- construction ----------------------------------------------------------
+
+    def native_device(self, expert: int) -> int:
+        """Uniform EP layout: contiguous expert blocks across devices."""
+        self._check_expert(expert)
+        return expert * self.num_devices // self.num_experts
+
+    @classmethod
+    def uniform(
+        cls, num_experts: int, num_devices: int, shadow_slots: int = 1
+    ) -> "ExpertPlacement":
+        return cls(num_experts, num_devices, shadow_slots)
+
+    def clone(self) -> "ExpertPlacement":
+        return copy.deepcopy(self)
+
+    # -- queries ----------------------------------------------------------------
+
+    def replicas(self, expert: int) -> list[int]:
+        """Devices hosting ``expert`` (native first, then shadows)."""
+        self._check_expert(expert)
+        return list(self._replicas[expert])
+
+    def num_replicas(self, expert: int) -> int:
+        self._check_expert(expert)
+        return len(self._replicas[expert])
+
+    def experts_on(self, device: int) -> list[int]:
+        """All experts served by ``device`` (native + shadow replicas)."""
+        self._check_device(device)
+        return self._native[device] + self._shadow[device]
+
+    def native_experts_on(self, device: int) -> list[int]:
+        self._check_device(device)
+        return list(self._native[device])
+
+    def shadow_free(self, device: int) -> int:
+        self._check_device(device)
+        return self.shadow_slots - len(self._shadow[device])
+
+    def hosts(self, device: int, expert: int) -> bool:
+        return device in self._replicas[expert]
+
+    def destinations(self, expert: int) -> list[tuple[int, float]]:
+        """Replica devices with equal token shares (the Load/Num rule)."""
+        devices = self._replicas[expert]
+        share = 1.0 / len(devices)
+        return [(device, share) for device in devices]
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add_replica(self, expert: int, device: int) -> None:
+        """Copy ``expert`` into a shadow slot of ``device``.
+
+        Raises ValueError when the device already hosts the expert or has no
+        free shadow slot — callers check capacity first (Algorithm 1 line 6).
+        """
+        self._check_expert(expert)
+        self._check_device(device)
+        if self.hosts(device, expert):
+            raise ValueError(f"device {device} already hosts expert {expert}")
+        if self.shadow_free(device) <= 0:
+            raise ValueError(f"device {device} has no free shadow slot")
+        self._shadow[device].append(expert)
+        self._replicas[expert].append(device)
+
+    def drop_replica(self, expert: int, device: int) -> None:
+        """Release a shadow replica (never the native copy)."""
+        self._check_expert(expert)
+        self._check_device(device)
+        if expert not in self._shadow[device]:
+            raise ValueError(
+                f"expert {expert} has no shadow replica on device {device}"
+            )
+        self._shadow[device].remove(expert)
+        self._replicas[expert].remove(device)
+
+    def reset_shadows(self) -> None:
+        """Drop every shadow replica, returning to the native layout."""
+        for device in range(self.num_devices):
+            for expert in list(self._shadow[device]):
+                self.drop_replica(expert, device)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_expert(self, expert: int) -> None:
+        if not (0 <= expert < self.num_experts):
+            raise ValueError(f"expert {expert} out of range (0..{self.num_experts - 1})")
+
+    def _check_device(self, device: int) -> None:
+        if not (0 <= device < self.num_devices):
+            raise ValueError(f"device {device} out of range (0..{self.num_devices - 1})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shadows = sum(len(entries) for entries in self._shadow)
+        return (
+            f"ExpertPlacement({self.num_experts} experts on "
+            f"{self.num_devices} devices, {shadows} shadow replicas)"
+        )

@@ -1,0 +1,23 @@
+"""MoE model zoo reproducing Table I of the paper."""
+
+from repro.models.configs import (
+    DBRX,
+    DEEPSEEK_V2,
+    DEEPSEEK_V3,
+    MIXTRAL_8X22B,
+    QWEN3_235B,
+    MoEModelConfig,
+)
+from repro.models.registry import MODEL_REGISTRY, get_model, list_models
+
+__all__ = [
+    "MoEModelConfig",
+    "DEEPSEEK_V3",
+    "QWEN3_235B",
+    "DEEPSEEK_V2",
+    "DBRX",
+    "MIXTRAL_8X22B",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+]

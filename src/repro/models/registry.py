@@ -1,0 +1,39 @@
+"""Lookup of the Table I model zoo by name."""
+
+from repro.models.configs import (
+    DBRX,
+    DEEPSEEK_V2,
+    DEEPSEEK_V3,
+    MIXTRAL_8X22B,
+    QWEN3_235B,
+    MoEModelConfig,
+)
+
+MODEL_REGISTRY: dict[str, MoEModelConfig] = {
+    config.name.lower(): config
+    for config in (DEEPSEEK_V3, QWEN3_235B, DEEPSEEK_V2, DBRX, MIXTRAL_8X22B)
+}
+
+_ALIASES = {
+    "deepseek-r1": "deepseek-v3",
+    "ds-v3": "deepseek-v3",
+    "ds-v2": "deepseek-v2",
+    "qwen3": "qwen3-235b",
+    "mixtral": "mixtral-8x22b",
+}
+
+
+def list_models() -> list[str]:
+    """Canonical names of all registered models, in Table I order."""
+    return [config.name for config in MODEL_REGISTRY.values()]
+
+
+def get_model(name: str) -> MoEModelConfig:
+    """Fetch a model config by (case-insensitive) name or alias."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return MODEL_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

@@ -1,0 +1,38 @@
+"""Congestion-aware analytical network simulator.
+
+The simulator decomposes every collective into *phases*.  A phase is a set
+of concurrent point-to-point flows; its duration follows Eq. 1 of the paper
+generalised to congested links:
+
+    duration = max_over_links(accumulated bytes / link bandwidth)
+             + max_over_flows(sum of per-hop link latencies)
+
+Collectives are sequences of phases.  This mirrors the analytical backend
+the paper built into ASTRA-sim: serialisation on the bottleneck link plus a
+per-hop latency term.
+"""
+
+from repro.network.traffic import Flow, TrafficMatrix
+from repro.network.phase import PhaseResult, simulate_phase
+from repro.network.allreduce import (
+    CollectiveResult,
+    ring_allreduce,
+    ring_allgather,
+    ring_reduce_scatter,
+    hierarchical_allreduce,
+)
+from repro.network.alltoall import AllToAllResult, simulate_alltoall
+
+__all__ = [
+    "Flow",
+    "TrafficMatrix",
+    "PhaseResult",
+    "simulate_phase",
+    "CollectiveResult",
+    "ring_allreduce",
+    "ring_allgather",
+    "ring_reduce_scatter",
+    "hierarchical_allreduce",
+    "AllToAllResult",
+    "simulate_alltoall",
+]

@@ -1,0 +1,212 @@
+"""Ring-based collectives: all-reduce, reduce-scatter, all-gather.
+
+A ring collective over a group of ``n`` devices moves ``volume / n`` chunks
+around the ring: ``n - 1`` steps for reduce-scatter or all-gather, and
+``2 (n - 1)`` steps for a full all-reduce.  Packages travel bi-directionally
+(Sec. IV-B2) — each step moves half a chunk clockwise and half
+counter-clockwise on the full-duplex links, halving the per-step time.
+
+Two congestion regimes are supported:
+
+* ``staggered=False`` — all groups' transfers of a step contend on shared
+  links (the honest worst case for arbitrary mappings).
+* ``staggered=True`` — the paper's entwined-ring schedule (Sec. IV-B2):
+  intersecting rings are time-staggered so they never conflict, hence each
+  ring is costed in isolation and concurrent rings take the max.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.network.phase import PhaseResult, simulate_phase
+from repro.network.traffic import TrafficMatrix
+from repro.topology.base import Topology
+
+
+@dataclass
+class CollectiveResult:
+    """Aggregate outcome of a multi-phase collective."""
+
+    duration: float
+    num_steps: int
+    link_bytes: dict[tuple[int, int], float] = field(default_factory=dict)
+    total_volume: float = 0.0
+
+    def merged_with(self, other: "CollectiveResult") -> "CollectiveResult":
+        link_bytes = dict(self.link_bytes)
+        for key, volume in other.link_bytes.items():
+            link_bytes[key] = link_bytes.get(key, 0.0) + volume
+        return CollectiveResult(
+            duration=self.duration + other.duration,
+            num_steps=self.num_steps + other.num_steps,
+            link_bytes=link_bytes,
+            total_volume=self.total_volume + other.total_volume,
+        )
+
+
+def _ring_step_traffic(groups: list[list[int]], chunk: float) -> list[TrafficMatrix]:
+    """Per-group traffic of one bidirectional ring step.
+
+    Every member sends half a chunk to its successor and half to its
+    predecessor; the two directions ride opposite directed links.
+    """
+    per_group = []
+    for group in groups:
+        traffic = TrafficMatrix()
+        n = len(group)
+        for i, member in enumerate(group):
+            traffic.add(member, group[(i + 1) % n], chunk / 2)
+            traffic.add(member, group[(i - 1) % n], chunk / 2)
+        per_group.append(traffic)
+    return per_group
+
+
+def _run_ring_steps(
+    topology: Topology,
+    groups: list[list[int]],
+    volume_per_group: float,
+    num_steps: int,
+    staggered: bool,
+) -> CollectiveResult:
+    sizes = {len(group) for group in groups}
+    if len(sizes) != 1:
+        raise ValueError(f"ring groups must share a size, got sizes {sorted(sizes)}")
+    n = sizes.pop()
+    if n == 1 or num_steps == 0:
+        return CollectiveResult(duration=0.0, num_steps=0)
+
+    chunk = volume_per_group / n
+    per_group_traffic = _ring_step_traffic(groups, chunk)
+
+    if staggered:
+        # Entwined-ring schedule (Sec. IV-B2): intersecting rings are
+        # time-staggered so pairwise conflicts vanish, and each multi-hop
+        # neighbour transfer is store-and-forward per Eq. 1 — a two-hop
+        # ring doubles the per-step cost.  Staggering cannot create
+        # bandwidth, though: when many rings pile onto the same link (e.g.
+        # wafer borders under a flat multi-wafer mapping) the step cannot
+        # finish before the busiest link drains, hence the max() below.
+        eq1_time = 0.0
+        link_bytes = {}
+        total_volume = 0.0
+        half = chunk / 2
+        for group in groups:
+            for i, member in enumerate(group):
+                for neighbour in (group[(i + 1) % n], group[(i - 1) % n]):
+                    path = topology.route(member, neighbour)
+                    flow_time = sum(
+                        half / link.bandwidth + link.latency for link in path
+                    )
+                    eq1_time = max(eq1_time, flow_time)
+                    total_volume += half
+                    for link in path:
+                        link_bytes[link.key] = link_bytes.get(link.key, 0.0) + half
+        saturation = max(
+            volume / topology.links[key].bandwidth
+            for key, volume in link_bytes.items()
+        )
+        step_duration = max(eq1_time, saturation)
+    else:
+        combined = TrafficMatrix()
+        for traffic in per_group_traffic:
+            combined.merge(traffic)
+        result = simulate_phase(topology, combined)
+        step_duration = result.duration
+        link_bytes = dict(result.link_bytes)
+        total_volume = result.total_volume
+
+    # Every step moves the same traffic pattern; scale the per-step footprint.
+    link_bytes = {key: volume * num_steps for key, volume in link_bytes.items()}
+    return CollectiveResult(
+        duration=step_duration * num_steps,
+        num_steps=num_steps,
+        link_bytes=link_bytes,
+        total_volume=total_volume * num_steps,
+    )
+
+
+def ring_allreduce(
+    topology: Topology,
+    groups: list[list[int]],
+    volume_per_group: float,
+    staggered: bool = False,
+) -> CollectiveResult:
+    """All-reduce ``volume_per_group`` bytes inside each group concurrently.
+
+    ``groups`` lists each ring in traversal order; consecutive members are
+    ring neighbours (1 hop in the baseline mapping, 2 hops entwined).
+    """
+    n = len(groups[0])
+    return _run_ring_steps(topology, groups, volume_per_group, 2 * (n - 1), staggered)
+
+
+def ring_reduce_scatter(
+    topology: Topology,
+    groups: list[list[int]],
+    volume_per_group: float,
+    staggered: bool = False,
+) -> CollectiveResult:
+    n = len(groups[0])
+    return _run_ring_steps(topology, groups, volume_per_group, n - 1, staggered)
+
+
+def ring_allgather(
+    topology: Topology,
+    groups: list[list[int]],
+    volume_per_group: float,
+    staggered: bool = False,
+) -> CollectiveResult:
+    n = len(groups[0])
+    return _run_ring_steps(topology, groups, volume_per_group, n - 1, staggered)
+
+
+def hierarchical_allreduce(
+    topology: Topology,
+    groups: list[list[int]],
+    volume_per_group: float,
+    partition_of,
+    staggered: bool = False,
+) -> CollectiveResult:
+    """Three-stage hierarchical all-reduce (DeepSpeed-style, the paper's [46]).
+
+    Stage 1: intra-partition reduce-scatter; stage 2: inter-partition
+    all-reduce among one representative per partition; stage 3:
+    intra-partition all-gather.  ``partition_of(device)`` labels partitions
+    (e.g. DGX node id or wafer id).
+    """
+    local_rings: list[list[int]] = []
+    bridge_rings: list[list[int]] = []
+    for group in groups:
+        by_partition: dict[int, list[int]] = {}
+        for member in group:
+            by_partition.setdefault(partition_of(member), []).append(member)
+        locals_ = list(by_partition.values())
+        local_rings.extend(ring for ring in locals_ if len(ring) > 1)
+        representatives = [ring[0] for ring in locals_]
+        if len(representatives) > 1:
+            bridge_rings.append(representatives)
+
+    result = CollectiveResult(duration=0.0, num_steps=0)
+    local_n = len(local_rings[0]) if local_rings else 1
+    if local_rings:
+        stage1 = _run_ring_steps(
+            topology, local_rings, volume_per_group, local_n - 1, staggered
+        )
+        result = result.merged_with(stage1)
+    if bridge_rings:
+        # After the intra-partition reduce-scatter each representative owns a
+        # 1/local_n slice, so the bridge ring all-reduces volume / local_n.
+        bridge_n = len(bridge_rings[0])
+        stage2 = _run_ring_steps(
+            topology,
+            bridge_rings,
+            volume_per_group / local_n,
+            2 * (bridge_n - 1),
+            staggered,
+        )
+        result = result.merged_with(stage2)
+    if local_rings:
+        stage3 = _run_ring_steps(
+            topology, local_rings, volume_per_group, local_n - 1, staggered
+        )
+        result = result.merged_with(stage3)
+    return result

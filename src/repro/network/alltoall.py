@@ -1,0 +1,126 @@
+"""MoE all-to-all (dispatch + combine) simulation.
+
+The dispatch traffic follows the paper's token-fetch model: a device hosting
+an expert pulls each token from the nearest holder of that token (Sec. IV-A).
+Which devices hold a token is the mapping's business — with all-gather
+retained every member of the token's TP group is a holder, without it only
+the shard owner is — so the caller supplies a ``holders`` function and this
+module stays mapping-agnostic.  Combine mirrors dispatch with reversed flow
+directions.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.network.phase import PhaseResult, simulate_phase
+from repro.network.traffic import TrafficMatrix
+from repro.topology.base import Topology
+
+#: destinations(expert) -> [(device, share)], shares summing to 1.
+DestinationFn = Callable[[int], Iterable[tuple[int, float]]]
+#: holders(group, destination_device) -> [(device, fraction)], fractions summing to 1.
+HolderFn = Callable[[int, int], Iterable[tuple[int, float]]]
+
+
+@dataclass
+class AllToAllResult:
+    """Dispatch and combine phases of one MoE all-to-all."""
+
+    dispatch: PhaseResult
+    combine: PhaseResult
+
+    @property
+    def duration(self) -> float:
+        return self.dispatch.duration + self.combine.duration
+
+    @property
+    def link_bytes(self) -> dict[tuple[int, int], float]:
+        merged: dict[tuple[int, int], float] = {}
+        self.dispatch.merge_link_bytes(merged)
+        self.combine.merge_link_bytes(merged)
+        return merged
+
+    @property
+    def total_volume(self) -> float:
+        return self.dispatch.total_volume + self.combine.total_volume
+
+
+def build_dispatch_traffic(
+    demand_bytes: np.ndarray,
+    destinations: DestinationFn,
+    holders: HolderFn,
+) -> TrafficMatrix:
+    """Aggregate token-fetch flows for a demand matrix.
+
+    Args:
+        demand_bytes: ``(num_groups, num_experts)`` array; entry ``[g, e]``
+            is the byte volume of group ``g`` tokens routed to expert ``e``.
+        destinations: expert -> replica devices with token shares.
+        holders: (group, destination) -> source devices with fractions.
+    """
+    if demand_bytes.ndim != 2:
+        raise ValueError(f"demand must be 2-D (groups x experts), got {demand_bytes.ndim}-D")
+    if (demand_bytes < 0).any():
+        raise ValueError("demand volumes must be >= 0")
+
+    traffic = TrafficMatrix()
+    groups, experts = np.nonzero(demand_bytes)
+    for group, expert in zip(groups.tolist(), experts.tolist()):
+        volume = float(demand_bytes[group, expert])
+        for dest, dest_share in destinations(expert):
+            routed = volume * dest_share
+            if routed <= 0:
+                continue
+            for source, fraction in holders(group, dest):
+                traffic.add(source, dest, routed * fraction)
+    return traffic
+
+
+def reverse_traffic(traffic: TrafficMatrix) -> TrafficMatrix:
+    out = TrafficMatrix()
+    for (src, dst), volume in traffic.items():
+        out.add(dst, src, volume)
+    return out
+
+
+def simulate_alltoall(
+    topology: Topology,
+    demand_bytes: np.ndarray,
+    destinations: DestinationFn,
+    holders: HolderFn,
+) -> AllToAllResult:
+    """Simulate dispatch and combine for one MoE layer invocation."""
+    dispatch_traffic = build_dispatch_traffic(demand_bytes, destinations, holders)
+    combine_traffic = reverse_traffic(dispatch_traffic)
+    return AllToAllResult(
+        dispatch=simulate_phase(topology, dispatch_traffic),
+        combine=simulate_phase(topology, combine_traffic),
+    )
+
+
+def uniform_demand(
+    num_groups: int,
+    num_experts: int,
+    tokens_per_group: float,
+    experts_per_token: int,
+    token_bytes: float,
+) -> np.ndarray:
+    """Expected demand under the balanced gating of Sec. VI-B.
+
+    Each token activates ``experts_per_token`` experts chosen uniformly, so
+    every (group, expert) pair expects the same volume.
+    """
+    if num_groups <= 0 or num_experts <= 0:
+        raise ValueError("num_groups and num_experts must be positive")
+    per_pair = tokens_per_group * experts_per_token / num_experts * token_bytes
+    return np.full((num_groups, num_experts), per_pair)
+
+
+def demand_from_counts(counts: np.ndarray, token_bytes: float) -> np.ndarray:
+    """Convert a (groups x experts) token-count matrix to byte volumes."""
+    counts = np.asarray(counts, dtype=float)
+    if (counts < 0).any():
+        raise ValueError("token counts must be >= 0")
+    return counts * token_bytes

@@ -1,0 +1,63 @@
+"""Platform presets: a device spec bound to a topology.
+
+These mirror the three cluster classes the paper compares (Fig. 1b):
+DGX clusters of 8-GPU nodes, the NVL72 supernode, and wafer-scale chips
+(single- and multi-wafer).
+"""
+
+from dataclasses import dataclass
+
+from repro.hardware.device import B200, DeviceSpec
+from repro.topology.base import Topology
+from repro.topology.mesh import MeshTopology, MultiWaferTopology
+from repro.topology.switched import DGXClusterTopology, NVL72Topology
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A named cluster: device spec + interconnect topology."""
+
+    name: str
+    device: DeviceSpec
+    topology: Topology
+
+    @property
+    def num_devices(self) -> int:
+        return self.topology.num_devices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlatformSpec({self.name}, {self.num_devices} devices)"
+
+
+def dgx_cluster(num_nodes: int, device: DeviceSpec = B200) -> PlatformSpec:
+    """A DGX cluster of ``num_nodes`` 8-GPU NVSwitch nodes over InfiniBand."""
+    return PlatformSpec(
+        name=f"DGX-{num_nodes}node",
+        device=device,
+        topology=DGXClusterTopology(num_nodes=num_nodes),
+    )
+
+
+def nvl72(device: DeviceSpec = B200) -> PlatformSpec:
+    """The NVL72 supernode: 72 devices on one unified switch fabric."""
+    return PlatformSpec(name="NVL72", device=device, topology=NVL72Topology())
+
+
+def wsc(side: int, device: DeviceSpec = B200) -> PlatformSpec:
+    """A single ``side x side`` wafer-scale chip."""
+    return PlatformSpec(
+        name=f"WSC-{side}x{side}",
+        device=device,
+        topology=MeshTopology(height=side, width=side),
+    )
+
+
+def multi_wsc(num_wafers: int, side: int, device: DeviceSpec = B200) -> PlatformSpec:
+    """A row of ``num_wafers`` wafers, each ``side x side`` dies."""
+    return PlatformSpec(
+        name=f"WSC-{num_wafers}x({side}x{side})",
+        device=device,
+        topology=MultiWaferTopology(
+            num_wafers=num_wafers, wafer_height=side, wafer_width=side
+        ),
+    )

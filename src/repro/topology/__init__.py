@@ -1,0 +1,30 @@
+"""Network topology substrate.
+
+Every platform in the paper reduces to a directed graph of links with a
+deterministic routing function:
+
+* Wafer-scale chips: a 2-D mesh of dies (:class:`MeshTopology`) or a row of
+  meshes joined by wafer-border links (:class:`MultiWaferTopology`), routed
+  dimension-ordered (XY).
+* GPU clusters: devices hanging off switches (:class:`DGXClusterTopology`,
+  :class:`NVL72Topology`), routed up-down through the switch hierarchy.
+
+The network simulator (:mod:`repro.network`) only consumes the common
+:class:`Topology` interface, so collectives and the congestion model are
+topology-agnostic.
+"""
+
+from repro.topology.base import Link, Topology
+from repro.topology.mesh import Coord, MeshTopology, MultiWaferTopology
+from repro.topology.switched import DGXClusterTopology, NVL72Topology, SwitchedTopology
+
+__all__ = [
+    "Link",
+    "Topology",
+    "Coord",
+    "MeshTopology",
+    "MultiWaferTopology",
+    "SwitchedTopology",
+    "DGXClusterTopology",
+    "NVL72Topology",
+]

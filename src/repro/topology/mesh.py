@@ -1,0 +1,223 @@
+"""2-D mesh topologies: single wafer and multi-wafer rows.
+
+Coordinates follow the paper's ``D[x, y]`` convention with ``x`` the row and
+``y`` the column, except 0-based.  Routing is dimension-ordered (XY): first
+along the row dimension, then along the column dimension — the standard
+deadlock-free choice for wafer meshes.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.hardware.interconnect import WSC_CROSS_WAFER, WSC_LINK, InterconnectSpec
+from repro.topology.base import CachedRoutingMixin, Link, Topology
+
+
+@dataclass(frozen=True, order=True)
+class Coord:
+    """Mesh coordinate: ``x`` is the row index, ``y`` the column index."""
+
+    x: int
+    y: int
+
+    def manhattan(self, other: "Coord") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+class MeshTopology(CachedRoutingMixin, Topology):
+    """A ``height x width`` mesh of devices with nearest-neighbour links.
+
+    Args:
+        height: number of rows.
+        width: number of columns.
+        link: link class for every mesh edge (defaults to the paper's
+            on-wafer die-to-die spec).
+    """
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        link: InterconnectSpec = WSC_LINK,
+    ) -> None:
+        if height <= 0 or width <= 0:
+            raise ValueError(f"mesh dimensions must be positive, got {height}x{width}")
+        super().__init__(num_devices=height * width)
+        self.height = height
+        self.width = width
+        self.link_spec = link
+        self._build_links()
+
+    def _build_links(self) -> None:
+        for x in range(self.height):
+            for y in range(self.width):
+                node = self.device_at(Coord(x, y))
+                if x + 1 < self.height:
+                    below = self.device_at(Coord(x + 1, y))
+                    self._add_bidirectional(
+                        node, below, self._edge_bandwidth(Coord(x, y), Coord(x + 1, y)),
+                        self._edge_latency(Coord(x, y), Coord(x + 1, y)),
+                    )
+                if y + 1 < self.width:
+                    right = self.device_at(Coord(x, y + 1))
+                    self._add_bidirectional(
+                        node, right, self._edge_bandwidth(Coord(x, y), Coord(x, y + 1)),
+                        self._edge_latency(Coord(x, y), Coord(x, y + 1)),
+                    )
+
+    def _edge_bandwidth(self, a: Coord, b: Coord) -> float:
+        """Per-direction bandwidth of the mesh edge a—b (hook for subclasses)."""
+        return self.link_spec.bandwidth
+
+    def _edge_latency(self, a: Coord, b: Coord) -> float:
+        return self.link_spec.link_latency
+
+    # -- coordinate helpers -------------------------------------------------
+
+    def coord_of(self, device: int) -> Coord:
+        if not self.is_device(device):
+            raise ValueError(f"device {device} out of range (0..{self.num_devices - 1})")
+        return Coord(device // self.width, device % self.width)
+
+    def device_at(self, coord: Coord) -> int:
+        if not (0 <= coord.x < self.height and 0 <= coord.y < self.width):
+            raise ValueError(f"coordinate {coord} outside {self.height}x{self.width} mesh")
+        return coord.x * self.width + coord.y
+
+    def manhattan(self, src: int, dst: int) -> int:
+        return self.coord_of(src).manhattan(self.coord_of(dst))
+
+    def neighbors(self, device: int) -> list[int]:
+        coord = self.coord_of(device)
+        out = []
+        for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            x, y = coord.x + dx, coord.y + dy
+            if 0 <= x < self.height and 0 <= y < self.width:
+                out.append(self.device_at(Coord(x, y)))
+        return out
+
+    # -- routing ------------------------------------------------------------
+
+    def _walk(self, src: int, dst: int, rows_first: bool) -> list[Link]:
+        path: list[Link] = []
+        here = self.coord_of(src)
+        target = self.coord_of(dst)
+
+        def step_rows():
+            nonlocal here
+            while here.x != target.x:
+                step = 1 if target.x > here.x else -1
+                nxt = Coord(here.x + step, here.y)
+                path.append(self.link(self.device_at(here), self.device_at(nxt)))
+                here = nxt
+
+        def step_cols():
+            nonlocal here
+            while here.y != target.y:
+                step = 1 if target.y > here.y else -1
+                nxt = Coord(here.x, here.y + step)
+                path.append(self.link(self.device_at(here), self.device_at(nxt)))
+                here = nxt
+
+        if rows_first:
+            step_rows()
+            step_cols()
+        else:
+            step_cols()
+            step_rows()
+        return path
+
+    def _route_impl(self, src: int, dst: int) -> list[Link]:
+        """Dimension-ordered XY routing: rows first, then columns."""
+        return self._walk(src, dst, rows_first=True)
+
+    @lru_cache(maxsize=None)
+    def _alternate_route_cached(self, src: int, dst: int) -> tuple[Link, ...]:
+        return tuple(self._walk(src, dst, rows_first=False))
+
+    def route_alternate(self, src: int, dst: int) -> list[Link]:
+        """The YX (columns-first) path — the second O1TURN route class.
+
+        Wafer NoCs balance load across the two dimension orders; the phase
+        simulator splits each flow evenly between ``route`` and this path.
+        """
+        return list(self._alternate_route_cached(src, dst))
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY routes are shortest paths, so hop count is Manhattan distance."""
+        return self.manhattan(src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.height}x{self.width})"
+
+
+class MultiWaferTopology(MeshTopology):
+    """A row of ``num_wafers`` meshes joined along vertical borders.
+
+    The combined system is a ``wafer_height x (num_wafers * wafer_width)``
+    mesh in which the links crossing a wafer border use the (slower per-link)
+    cross-wafer spec: the paper gives an aggregate border bandwidth shared by
+    the ``wafer_height`` edge-die link pairs on that border.
+    """
+
+    def __init__(
+        self,
+        num_wafers: int,
+        wafer_height: int,
+        wafer_width: int,
+        intra_link: InterconnectSpec = WSC_LINK,
+        cross_border: InterconnectSpec = WSC_CROSS_WAFER,
+    ) -> None:
+        if num_wafers <= 0:
+            raise ValueError(f"num_wafers must be positive, got {num_wafers}")
+        self.num_wafers = num_wafers
+        self.wafer_height = wafer_height
+        self.wafer_width = wafer_width
+        self.cross_border = cross_border
+        # Per-link bandwidth: the aggregate border bandwidth divided across
+        # the wafer_height edge dies on that border, capped at the on-wafer
+        # link rate (a border die cannot out-run its die-to-die SerDes).
+        self._cross_link_bandwidth = min(
+            cross_border.bandwidth / wafer_height, intra_link.bandwidth
+        )
+        super().__init__(
+            height=wafer_height, width=num_wafers * wafer_width, link=intra_link
+        )
+
+    def _is_cross_wafer_edge(self, a: Coord, b: Coord) -> bool:
+        return a.y // self.wafer_width != b.y // self.wafer_width
+
+    def _edge_bandwidth(self, a: Coord, b: Coord) -> float:
+        if self._is_cross_wafer_edge(a, b):
+            return self._cross_link_bandwidth
+        return self.link_spec.bandwidth
+
+    def _edge_latency(self, a: Coord, b: Coord) -> float:
+        if self._is_cross_wafer_edge(a, b):
+            return self.cross_border.link_latency
+        return self.link_spec.link_latency
+
+    # -- wafer helpers ------------------------------------------------------
+
+    def wafer_of(self, device: int) -> int:
+        return self.coord_of(device).y // self.wafer_width
+
+    def wafer_devices(self, wafer: int) -> list[int]:
+        if not (0 <= wafer < self.num_wafers):
+            raise ValueError(f"wafer {wafer} out of range (0..{self.num_wafers - 1})")
+        return [
+            device
+            for device in self.devices
+            if self.wafer_of(device) == wafer
+        ]
+
+    def local_coord(self, device: int) -> Coord:
+        """Coordinate of a device within its own wafer."""
+        coord = self.coord_of(device)
+        return Coord(coord.x, coord.y % self.wafer_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiWaferTopology({self.num_wafers}x"
+            f"({self.wafer_height}x{self.wafer_width}))"
+        )

@@ -1,0 +1,134 @@
+"""Switched GPU-cluster topologies: DGX nodes over InfiniBand, and NVL72.
+
+Switches occupy node ids above the device range.  Routing is up-down:
+device -> leaf switch -> (core switch ->) leaf switch -> device.  The
+congestion model in :mod:`repro.network` then charges all flows crossing a
+switch port to that port's link, which is exactly where the DGX inter-node
+bottleneck shows up.
+"""
+
+from repro.hardware.interconnect import INFINIBAND, NVLINK, InterconnectSpec
+from repro.topology.base import CachedRoutingMixin, Link, Topology
+
+
+class SwitchedTopology(CachedRoutingMixin, Topology):
+    """Devices grouped under leaf switches, leaves joined by one core switch.
+
+    A single-group instance (``num_groups == 1``) has no core switch and
+    models a flat full-bandwidth fabric such as NVL72.
+
+    Args:
+        num_groups: number of leaf switches (DGX nodes).
+        devices_per_group: devices under each leaf.
+        leaf_link: device <-> leaf switch link class.
+        uplink: leaf switch <-> core switch link class; its bandwidth is the
+            *aggregate* per-group scale-out bandwidth.
+    """
+
+    def __init__(
+        self,
+        num_groups: int,
+        devices_per_group: int,
+        leaf_link: InterconnectSpec,
+        uplink: InterconnectSpec | None = None,
+    ) -> None:
+        if num_groups <= 0 or devices_per_group <= 0:
+            raise ValueError(
+                f"groups/devices must be positive, got {num_groups}/{devices_per_group}"
+            )
+        if num_groups > 1 and uplink is None:
+            raise ValueError("multi-group topology requires an uplink spec")
+        super().__init__(num_devices=num_groups * devices_per_group)
+        self.num_groups = num_groups
+        self.devices_per_group = devices_per_group
+        self.leaf_link = leaf_link
+        self.uplink = uplink
+        self._leaf_base = self.num_devices
+        self._core = self.num_devices + num_groups
+        for device in self.devices:
+            leaf = self._leaf_of(device)
+            self._add_bidirectional(
+                device, leaf, leaf_link.bandwidth, leaf_link.link_latency
+            )
+        if num_groups > 1:
+            assert uplink is not None
+            for group in range(num_groups):
+                self._add_bidirectional(
+                    self._leaf_base + group,
+                    self._core,
+                    uplink.bandwidth,
+                    uplink.link_latency,
+                )
+
+    def group_of(self, device: int) -> int:
+        if not self.is_device(device):
+            raise ValueError(f"device {device} out of range")
+        return device // self.devices_per_group
+
+    def group_devices(self, group: int) -> list[int]:
+        if not (0 <= group < self.num_groups):
+            raise ValueError(f"group {group} out of range (0..{self.num_groups - 1})")
+        start = group * self.devices_per_group
+        return list(range(start, start + self.devices_per_group))
+
+    def _leaf_of(self, device: int) -> int:
+        return self._leaf_base + self.group_of(device)
+
+    def _route_impl(self, src: int, dst: int) -> list[Link]:
+        if src == dst:
+            return []
+        src_leaf = self._leaf_of(src)
+        dst_leaf = self._leaf_of(dst)
+        path = [self.link(src, src_leaf)]
+        if src_leaf != dst_leaf:
+            path.append(self.link(src_leaf, self._core))
+            path.append(self.link(self._core, dst_leaf))
+        path.append(self.link(dst_leaf, dst))
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.num_groups} groups x "
+            f"{self.devices_per_group} devices)"
+        )
+
+
+class DGXClusterTopology(SwitchedTopology):
+    """DGX cluster: 8-GPU NVSwitch nodes joined by InfiniBand.
+
+    The per-node uplink aggregates one scale-out NIC per GPU, matching the
+    DGX B200 reference design.
+    """
+
+    GPUS_PER_NODE = 8
+
+    def __init__(
+        self,
+        num_nodes: int,
+        nvlink: InterconnectSpec = NVLINK,
+        infiniband: InterconnectSpec = INFINIBAND,
+    ) -> None:
+        aggregate_uplink = InterconnectSpec(
+            name=f"{infiniband.name}-node-aggregate",
+            bandwidth=infiniband.bandwidth * self.GPUS_PER_NODE,
+            link_latency=infiniband.link_latency,
+        )
+        super().__init__(
+            num_groups=num_nodes,
+            devices_per_group=self.GPUS_PER_NODE,
+            leaf_link=nvlink,
+            uplink=aggregate_uplink if num_nodes > 1 else None,
+        )
+        self.num_nodes = num_nodes
+
+    def node_of(self, device: int) -> int:
+        return self.group_of(device)
+
+
+class NVL72Topology(SwitchedTopology):
+    """NVL72 supernode: 72 devices on one unified NVSwitch fabric."""
+
+    def __init__(self, num_devices: int = 72, nvlink: InterconnectSpec = NVLINK) -> None:
+        super().__init__(
+            num_groups=1, devices_per_group=num_devices, leaf_link=nvlink
+        )

@@ -1,0 +1,40 @@
+"""Synthetic inference workloads: expert-selection traces.
+
+The paper profiles real benchmark requests (Chat / Coding / Math / Privacy,
+mixed via Azure arrival traces).  Offline we substitute synthetic gating
+traces that expose the same three load properties the evaluation depends on
+(Sec. V-B, Fig. 12):
+
+* **skew** — some experts are intrinsically popular (Zipf bias) and fixed
+  scenarios persistently activate domain-specific experts;
+* **post-warm-up stability** — in a fixed scenario, device load *ratios*
+  stabilise after a brief warm-up;
+* **slow drift** — production mixes shift between domains over time,
+  slowly changing the ratios.
+"""
+
+from repro.workload.scenarios import (
+    CHAT,
+    CODING,
+    MATH,
+    PRIVACY,
+    SCENARIOS,
+    ScenarioProfile,
+    get_scenario,
+)
+from repro.workload.gating import GatingSimulator
+from repro.workload.arrivals import AzureLikeMixer, ConstantMixer, ScenarioMixer
+
+__all__ = [
+    "ScenarioProfile",
+    "CHAT",
+    "CODING",
+    "MATH",
+    "PRIVACY",
+    "SCENARIOS",
+    "get_scenario",
+    "GatingSimulator",
+    "ScenarioMixer",
+    "ConstantMixer",
+    "AzureLikeMixer",
+]

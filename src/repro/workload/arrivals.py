@@ -1,0 +1,102 @@
+"""Scenario mixers: how the request pool composition evolves over time.
+
+The paper's mixed scenario integrates four benchmarks through Azure request
+arrival traces, producing "cyclically evolving scenario mixtures" with
+slow-varying load ratios (Sec. V-B).  :class:`AzureLikeMixer` substitutes a
+smooth cyclic weighting with phase-shifted periods per scenario plus mild
+noise — the property that matters is *slow drift*, which is a parameter
+here.
+"""
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.workload.scenarios import ScenarioProfile
+
+
+class ScenarioMixer(ABC):
+    """Produces per-iteration scenario weights."""
+
+    def __init__(self, scenarios: list[ScenarioProfile]) -> None:
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        self.scenarios = scenarios
+
+    @abstractmethod
+    def weights(self, iteration: int) -> np.ndarray:
+        """Nonnegative scenario weights summing to 1 for this iteration."""
+
+    def popularity(self, num_experts: int, layer: int, iteration: int) -> np.ndarray:
+        """Mixture popularity across scenarios for one layer/iteration."""
+        weights = self.weights(iteration)
+        mixed = np.zeros(num_experts)
+        for weight, scenario in zip(weights, self.scenarios):
+            if weight > 0:
+                mixed += weight * scenario.popularity(num_experts, layer)
+        return mixed / mixed.sum()
+
+
+class ConstantMixer(ScenarioMixer):
+    """A fixed scenario composition (e.g. Math-only)."""
+
+    def __init__(
+        self,
+        scenarios: list[ScenarioProfile],
+        fixed_weights: list[float] | None = None,
+    ) -> None:
+        super().__init__(scenarios)
+        if fixed_weights is None:
+            fixed_weights = [1.0 / len(scenarios)] * len(scenarios)
+        if len(fixed_weights) != len(scenarios):
+            raise ValueError(
+                f"{len(fixed_weights)} weights for {len(scenarios)} scenarios"
+            )
+        weights = np.asarray(fixed_weights, dtype=float)
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("weights must be nonnegative and sum to > 0")
+        self._weights = weights / weights.sum()
+
+    def weights(self, iteration: int) -> np.ndarray:
+        return self._weights
+
+
+class AzureLikeMixer(ScenarioMixer):
+    """Cyclically drifting composition with phase-shifted scenario periods.
+
+    Weight of scenario ``i`` at iteration ``t`` is a raised cosine with
+    period ``period_iters`` and phase ``i / n`` of a cycle, plus bounded
+    noise — request pools gradually transition between domains, exactly the
+    drift pattern that forces continuous re-balancing in Fig. 15/16.
+    """
+
+    def __init__(
+        self,
+        scenarios: list[ScenarioProfile],
+        period_iters: int = 600,
+        noise: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(scenarios)
+        if period_iters <= 0:
+            raise ValueError(f"period_iters must be positive, got {period_iters}")
+        if not (0.0 <= noise < 1.0):
+            raise ValueError(f"noise must be in [0, 1), got {noise}")
+        self.period_iters = period_iters
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        self._noise_state = np.zeros(len(scenarios))
+
+    def weights(self, iteration: int) -> np.ndarray:
+        n = len(self.scenarios)
+        phases = (
+            2 * np.pi * (iteration / self.period_iters + np.arange(n) / n)
+        )
+        raw = 1.0 + np.cos(phases)
+        if self.noise > 0:
+            # Smoothed (AR(1)) noise keeps drift slow rather than jittery.
+            self._noise_state = 0.9 * self._noise_state + 0.1 * self._rng.normal(
+                0.0, self.noise, size=n
+            )
+            raw = np.clip(raw * (1.0 + self._noise_state), 1e-6, None)
+        return raw / raw.sum()

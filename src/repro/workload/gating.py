@@ -1,0 +1,100 @@
+"""Gating simulator: per-iteration expert-selection token counts.
+
+For every MoE layer the simulator keeps an *effective popularity* state
+that relaxes toward the current scenario-mixture popularity — so a fixed
+scenario stabilises after a warm-up (Fig. 12) while a drifting mixture
+keeps moving.  Token-to-expert assignment draws a multinomial over that
+popularity, the standard aggregate approximation of top-k routing (each of
+``tokens * top_k`` selection slots lands independently).
+"""
+
+import numpy as np
+
+from repro.models.configs import MoEModelConfig
+from repro.workload.arrivals import ConstantMixer, ScenarioMixer
+from repro.workload.scenarios import ScenarioProfile
+
+
+class GatingSimulator:
+    """Generates (layers x groups x experts) token-count tensors.
+
+    Args:
+        model: MoE model configuration.
+        num_groups: DP groups (each contributes ``tokens_per_group`` tokens).
+        tokens_per_group: tokens processed per group per iteration.
+        mixer: scenario composition over time; a single
+            :class:`ScenarioProfile` is promoted to a constant mixer.
+        num_layers: simulated MoE layers (statistics for the Eq. 2 trigger).
+        adaptation: per-iteration relaxation rate toward the target
+            popularity; smaller = longer warm-up.
+        seed: RNG seed.
+        balanced: force uniform popularity (the balanced-gating ablation of
+            Sec. VI-B).
+    """
+
+    def __init__(
+        self,
+        model: MoEModelConfig,
+        num_groups: int,
+        tokens_per_group: int,
+        mixer: ScenarioMixer | ScenarioProfile,
+        num_layers: int = 4,
+        adaptation: float = 0.08,
+        seed: int = 0,
+        balanced: bool = False,
+    ) -> None:
+        if num_groups <= 0 or tokens_per_group <= 0:
+            raise ValueError("num_groups and tokens_per_group must be positive")
+        if num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {num_layers}")
+        if not (0.0 < adaptation <= 1.0):
+            raise ValueError(f"adaptation must be in (0, 1], got {adaptation}")
+        if isinstance(mixer, ScenarioProfile):
+            mixer = ConstantMixer([mixer])
+        self.model = model
+        self.num_groups = num_groups
+        self.tokens_per_group = tokens_per_group
+        self.mixer = mixer
+        self.num_layers = num_layers
+        self.adaptation = adaptation
+        self.balanced = balanced
+        self._rng = np.random.default_rng(seed)
+        self._iteration = 0
+        # Warm start far from the stationary profile: uniform popularity.
+        self._state = np.full(
+            (num_layers, model.num_experts), 1.0 / model.num_experts
+        )
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration
+
+    def next_counts(self) -> np.ndarray:
+        """Advance one iteration; return (layers, groups, experts) counts."""
+        model = self.model
+        selections = self.tokens_per_group * model.experts_per_token
+        counts = np.zeros(
+            (self.num_layers, self.num_groups, model.num_experts), dtype=float
+        )
+        for layer in range(self.num_layers):
+            if self.balanced:
+                popularity = np.full(model.num_experts, 1.0 / model.num_experts)
+            else:
+                target = self.mixer.popularity(
+                    model.num_experts, layer, self._iteration
+                )
+                self._state[layer] = (
+                    (1.0 - self.adaptation) * self._state[layer]
+                    + self.adaptation * target
+                )
+                popularity = self._state[layer]
+            for group in range(self.num_groups):
+                counts[layer, group] = self._rng.multinomial(
+                    selections, popularity
+                )
+        self._iteration += 1
+        return counts
+
+    def expert_loads(self, counts: np.ndarray) -> np.ndarray:
+        """Sum counts over groups: (layers, experts) total expert loads."""
+        return counts.sum(axis=1)

@@ -1,0 +1,90 @@
+"""Tests for migration path decomposition and draining."""
+
+import pytest
+
+from repro.balancer.migration import (
+    PendingMigration,
+    SegmentKind,
+    split_migration,
+)
+from repro.mapping.base import ParallelismConfig
+from repro.mapping.er import ERMapping
+from repro.topology.mesh import MeshTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(4, 4)
+
+
+@pytest.fixture
+def er(mesh):
+    return ERMapping(mesh, ParallelismConfig(tp=4, dp=4, tp_shape=(2, 2)))
+
+
+class TestSplit:
+    def test_cross_ftd_path_has_local_and_global(self, mesh, er):
+        # Device 0 (FTD 0) to device 15 (FTD 3): the longest migration of
+        # Fig. 11d, decomposed Local -> Global -> Local.
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=15, volume=1e6)
+        kinds = [segment.kind for segment in pending.segments]
+        assert SegmentKind.GLOBAL in kinds
+        assert kinds.count(SegmentKind.LOCAL) >= 1
+        assert sum(segment.hops for segment in pending.segments) == mesh.hops(0, 15)
+
+    def test_intra_ftd_path_is_all_local(self, mesh, er):
+        # Devices 0 and 5 share FTD 0.
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=5, volume=1e6)
+        assert all(s.kind is SegmentKind.LOCAL for s in pending.segments)
+
+    def test_no_ftds_means_all_global(self, mesh):
+        pending = split_migration(
+            mesh, lambda device: None, expert=0, src=0, dst=15, volume=1e6
+        )
+        assert all(s.kind is SegmentKind.GLOBAL for s in pending.segments)
+
+    def test_each_segment_carries_full_volume(self, mesh, er):
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=15, volume=1e6)
+        assert all(s.remaining == 1e6 for s in pending.segments)
+
+    def test_rejects_nonpositive_volume(self, mesh, er):
+        with pytest.raises(ValueError):
+            split_migration(mesh, er.ftd_of, expert=0, src=0, dst=1, volume=0.0)
+
+
+class TestAdvance:
+    def test_segments_drain_in_order(self, mesh, er):
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=15, volume=100.0)
+        first = pending.current_segment
+        consumed = pending.advance(first.kind, 40.0)
+        assert consumed == 40.0
+        assert pending.current_segment is first
+        pending.advance(first.kind, 60.0)
+        assert pending.current_segment is not first
+
+    def test_wrong_kind_consumes_nothing(self, mesh, er):
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=15, volume=100.0)
+        first_kind = pending.current_segment.kind
+        other = (
+            SegmentKind.GLOBAL if first_kind is SegmentKind.LOCAL else SegmentKind.LOCAL
+        )
+        assert pending.advance(other, 1e9) == 0.0
+
+    def test_done_after_all_segments(self, mesh, er):
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=15, volume=10.0)
+        for _ in range(10):
+            segment = pending.current_segment
+            if segment is None:
+                break
+            pending.advance(segment.kind, 1e9)
+        assert pending.done
+
+    def test_rejects_negative_budget(self, mesh, er):
+        pending = split_migration(mesh, er.ftd_of, expert=0, src=0, dst=1, volume=10.0)
+        with pytest.raises(ValueError):
+            pending.advance(SegmentKind.LOCAL, -1.0)
+
+    def test_done_empty_segments(self):
+        pending = PendingMigration(expert=0, src=0, dst=1, volume=1.0, segments=[])
+        assert pending.done
+        assert pending.current_segment is None

@@ -1,0 +1,152 @@
+"""Tests for the greedy, topology-aware and non-invasive planners."""
+
+import numpy as np
+import pytest
+
+from repro.balancer.base import BalancerConfig
+from repro.balancer.greedy import GreedyBalancer
+from repro.balancer.ni import NonInvasiveBalancer
+from repro.balancer.topology_aware import TopologyAwareBalancer
+from repro.mapping.placement import ExpertPlacement
+from repro.topology.mesh import MeshTopology
+
+
+def make(cls, num_experts=16, side=4, shadow=1, **kwargs):
+    placement = ExpertPlacement(num_experts, side * side, shadow_slots=shadow)
+    return cls(placement, MeshTopology(side, side), expert_bytes=1e6, **kwargs)
+
+
+def skewed_loads(num_experts, hot=0, factor=50.0):
+    loads = np.ones(num_experts)
+    loads[hot] = factor
+    return loads
+
+
+class TestGreedy:
+    def test_replicates_hottest_expert(self):
+        balancer = make(GreedyBalancer)
+        balancer.observe(skewed_loads(16, hot=5))
+        migrations = balancer.plan(0)
+        assert migrations
+        assert migrations[0].expert == 5
+
+    def test_reduces_projected_peak(self):
+        balancer = make(GreedyBalancer)
+        balancer.observe(skewed_loads(16, hot=5))
+        before = balancer.heats(include_pending=False).max()
+        migrations = balancer.plan(0)
+        for migration in migrations:
+            balancer.commit(migration)
+        after = balancer.heats(include_pending=False).max()
+        assert after < before
+
+    def test_destination_is_coldest_device(self):
+        balancer = make(GreedyBalancer)
+        loads = np.ones(16)
+        loads[0] = 100.0
+        loads[15] = 0.0  # device 15 is coldest
+        balancer.observe(loads)
+        migrations = balancer.plan(0)
+        assert migrations[0].dst == 15
+
+    def test_no_migration_when_balanced(self):
+        balancer = make(GreedyBalancer)
+        balancer.observe(np.full(16, 10.0))
+        assert balancer.plan(0) == []
+
+    def test_respects_slot_capacity(self):
+        balancer = make(GreedyBalancer, shadow=1)
+        balancer.observe(skewed_loads(16, hot=0, factor=1000.0))
+        migrations = balancer.plan(0)
+        dst_counts = {}
+        for migration in migrations:
+            dst_counts[migration.dst] = dst_counts.get(migration.dst, 0) + 1
+        assert all(count <= 1 for count in dst_counts.values())
+
+    def test_invasive(self):
+        assert GreedyBalancer.invasive is True
+
+
+class TestTopologyAware:
+    def test_source_is_hottest_device_expert(self):
+        balancer = make(TopologyAwareBalancer)
+        balancer.observe(skewed_loads(16, hot=5))
+        migrations = balancer.plan(0)
+        assert migrations[0].expert == 5
+        assert migrations[0].src == 5  # device 5 hosts expert 5 (1:1)
+
+    def test_destination_nearer_than_greedy(self):
+        """Algorithm 1 line 7: nearest adequate device wins."""
+        mesh = MeshTopology(4, 4)
+        loads = np.ones(16) * 10
+        loads[0] = 200.0
+
+        topo = make(TopologyAwareBalancer)
+        topo.observe(loads)
+        topo_migration = topo.plan(0)[0]
+
+        greedy = make(GreedyBalancer)
+        greedy.observe(loads)
+        greedy_migration = greedy.plan(0)[0]
+
+        assert mesh.hops(topo_migration.src, topo_migration.dst) <= mesh.hops(
+            greedy_migration.src, greedy_migration.dst
+        )
+
+    def test_nearest_among_cold_candidates(self):
+        balancer = make(TopologyAwareBalancer)
+        loads = np.ones(16) * 10
+        loads[0] = 200.0
+        balancer.observe(loads)
+        migration = balancer.plan(0)[0]
+        # Device 0's neighbours on the 4x4 mesh are 1 and 4.
+        assert migration.dst in (1, 4)
+
+    def test_terminates_without_slots(self):
+        balancer = make(TopologyAwareBalancer, shadow=0)
+        balancer.observe(skewed_loads(16))
+        assert balancer.plan(0) == []
+
+    def test_reduces_peak_heat(self):
+        balancer = make(TopologyAwareBalancer)
+        balancer.observe(skewed_loads(16, hot=7, factor=100.0))
+        before = balancer.heats(include_pending=False).max()
+        for migration in balancer.plan(0):
+            balancer.commit(migration)
+        assert balancer.heats(include_pending=False).max() < before
+
+    def test_multiple_experts_per_device(self):
+        balancer = make(TopologyAwareBalancer, num_experts=32)
+        loads = np.ones(32)
+        loads[4] = 80.0  # expert 4 lives on device 2 with expert 5
+        balancer.observe(loads)
+        migration = balancer.plan(0)[0]
+        assert migration.expert == 4
+        assert migration.src == 2
+
+
+class TestNonInvasive:
+    def test_flagged_non_invasive(self):
+        assert NonInvasiveBalancer.invasive is False
+
+    def test_plans_are_small_and_continuous(self):
+        balancer = make(NonInvasiveBalancer)
+        balancer.observe(skewed_loads(16, factor=100.0))
+        migrations = balancer.plan(0)
+        assert 1 <= len(migrations) <= 2
+
+    def test_pending_not_replanned(self):
+        balancer = make(NonInvasiveBalancer)
+        balancer.observe(skewed_loads(16, hot=3, factor=100.0))
+        first = balancer.plan(0)
+        second = balancer.plan(1)
+        taken = {(m.expert, m.dst) for m in first}
+        assert all((m.expert, m.dst) not in taken for m in second)
+
+    def test_custom_config_respected(self):
+        balancer = make(
+            NonInvasiveBalancer,
+            config=BalancerConfig(max_migrations_per_trigger=1),
+        )
+        balancer.observe(skewed_loads(16, factor=100.0))
+        assert len(balancer.plan(0)) <= 1

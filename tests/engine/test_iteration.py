@@ -1,0 +1,137 @@
+"""Tests for the iteration latency model."""
+
+import numpy as np
+import pytest
+
+from repro.engine.iteration import (
+    EngineConfig,
+    IterationBreakdown,
+    IterationSimulator,
+    pipelined_time,
+)
+from repro.engine.compute import RooflineTimes
+from repro.hardware.device import B200
+from repro.models import QWEN3_235B
+from repro.systems import build_wsc
+
+
+@pytest.fixture
+def system():
+    return build_wsc(QWEN3_235B, side=4, tp=4, mapping="er")
+
+
+@pytest.fixture
+def simulator(system):
+    return IterationSimulator(
+        system.device,
+        system.model,
+        system.mapping,
+        EngineConfig(tokens_per_group=64),
+    )
+
+
+class TestPipelinedTime:
+    def test_perfect_overlap_limit(self):
+        assert pipelined_time(10.0, 10.0, 10**9) == pytest.approx(10.0)
+
+    def test_no_overlap_limit(self):
+        assert pipelined_time(10.0, 4.0, 1) == 14.0
+
+    def test_symmetric(self):
+        assert pipelined_time(3.0, 7.0, 4) == pipelined_time(7.0, 3.0, 4)
+
+    def test_rejects_bad_stages(self):
+        with pytest.raises(ValueError):
+            pipelined_time(1.0, 1.0, 0)
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.tokens_per_group == 256
+        assert config.decode is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(tokens_per_group=0)
+        with pytest.raises(ValueError):
+            EngineConfig(pipeline_stages=0)
+        with pytest.raises(ValueError):
+            EngineConfig(context_len=-1)
+
+
+class TestBreakdown:
+    def test_phases_and_total(self):
+        breakdown = IterationBreakdown(
+            attention=RooflineTimes(1e-6, 1e-6),
+            allreduce=4e-6,
+            dispatch=3e-6,
+            combine=3e-6,
+            moe=RooflineTimes(2e-6, 2e-6),
+            pipeline_stages=4,
+            overlap=True,
+        )
+        assert breakdown.alltoall == pytest.approx(6e-6)
+        assert breakdown.attention_phase == pytest.approx(4e-6 + 2e-6 / 4)
+        assert breakdown.moe_phase == pytest.approx(6e-6 + 4e-6 / 4)
+        assert breakdown.total == pytest.approx(
+            breakdown.attention_phase + breakdown.moe_phase
+        )
+
+    def test_no_overlap_sums(self):
+        breakdown = IterationBreakdown(
+            attention=RooflineTimes(1e-6, 0.0),
+            allreduce=4e-6,
+            dispatch=1e-6,
+            combine=1e-6,
+            moe=RooflineTimes(2e-6, 0.0),
+            overlap=False,
+        )
+        assert breakdown.attention_phase == pytest.approx(5e-6)
+        assert breakdown.moe_phase == pytest.approx(4e-6)
+
+    def test_migration_on_critical_path(self):
+        breakdown = IterationBreakdown(
+            attention=RooflineTimes(1e-6, 0.0),
+            allreduce=0.0,
+            dispatch=0.0,
+            combine=0.0,
+            moe=RooflineTimes(1e-6, 0.0),
+            migration_exposed=5e-6,
+        )
+        assert breakdown.total == pytest.approx(1e-6 + 1e-6 + 5e-6)
+
+
+class TestSimulateLayer:
+    def test_full_simulation(self, simulator, system):
+        counts = np.full((4, 128), 64 * 8 / 128)
+        placement = system.fresh_placement()
+        sim = simulator.simulate_layer(counts, placement)
+        assert sim.breakdown.total > 0
+        assert sim.breakdown.allreduce > 0
+        assert sim.breakdown.alltoall > 0
+        assert sim.allreduce_result.link_bytes
+        assert sim.alltoall_result.link_bytes
+
+    def test_counts_shape_validated(self, simulator, system):
+        with pytest.raises(ValueError, match="shape"):
+            simulator.simulate_layer(np.zeros((3, 128)), system.fresh_placement())
+
+    def test_allreduce_volume(self, simulator):
+        assert simulator.allreduce_volume() == 64 * QWEN3_235B.token_bytes
+
+    def test_hot_expert_slows_moe(self, simulator, system):
+        placement = system.fresh_placement()
+        balanced = np.full((4, 128), 4.0)
+        skewed = balanced.copy()
+        skewed[:, 0] = 200.0
+        balanced_sim = simulator.simulate_layer(balanced, placement)
+        skewed_sim = simulator.simulate_layer(skewed, placement)
+        assert skewed_sim.breakdown.moe.total > balanced_sim.breakdown.moe.total
+
+    def test_migration_exposed_passed_through(self, simulator, system):
+        counts = np.full((4, 128), 4.0)
+        sim = simulator.simulate_layer(
+            counts, system.fresh_placement(), migration_exposed=1e-3
+        )
+        assert sim.breakdown.migration_exposed == 1e-3

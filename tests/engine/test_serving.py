@@ -1,0 +1,137 @@
+"""Tests for the serving simulator and balancer integration."""
+
+import pytest
+
+from repro.balancer import (
+    GreedyBalancer,
+    NoBalancer,
+    NonInvasiveBalancer,
+    TopologyAwareBalancer,
+)
+from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.models import QWEN3_235B
+from repro.systems import build_wsc
+from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
+
+
+def make_simulator(balancer_cls, iterations=30, mixer=None, seed=3, **serving_kwargs):
+    system = build_wsc(QWEN3_235B, side=4, tp=4, mapping="er")
+    if mixer is None:
+        mixer = MATH
+    workload = GatingSimulator(
+        QWEN3_235B,
+        num_groups=system.mapping.dp,
+        tokens_per_group=64,
+        mixer=mixer,
+        num_layers=2,
+        seed=seed,
+    )
+    return ServingSimulator(
+        system.device,
+        QWEN3_235B,
+        system.mapping,
+        workload,
+        balancer_cls,
+        engine_config=EngineConfig(tokens_per_group=64),
+        serving_config=ServingConfig(num_iterations=iterations, **serving_kwargs),
+    )
+
+
+class TestBasicRun:
+    def test_trace_length(self):
+        trace = make_simulator(NoBalancer, iterations=10).run()
+        assert len(trace.records) == 10
+
+    def test_latency_positive(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        assert all(record.latency > 0 for record in trace.records)
+
+    def test_no_balancer_never_migrates(self):
+        trace = make_simulator(NoBalancer, iterations=15).run()
+        assert trace.num_migrations() == 0
+        assert trace.total_migration_overhead() == 0.0
+
+    def test_breakdown_recorded(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        record = trace.records[0]
+        assert record.breakdown.allreduce > 0
+        assert record.breakdown.alltoall > 0
+
+
+class TestBalancingEffects:
+    def test_balancers_cut_load_ratio(self):
+        base = make_simulator(NoBalancer).run().mean_load_ratio(skip=15)
+        for cls in (GreedyBalancer, TopologyAwareBalancer, NonInvasiveBalancer):
+            balanced = make_simulator(cls).run().mean_load_ratio(skip=15)
+            assert balanced < base
+
+    def test_invasive_migration_interrupts(self):
+        trace = make_simulator(GreedyBalancer).run()
+        assert trace.num_migrations() > 0
+        assert trace.num_interruptions() > 0
+        assert trace.total_migration_overhead() > 0
+
+    def test_non_invasive_never_interrupts(self):
+        trace = make_simulator(NonInvasiveBalancer).run()
+        assert trace.num_migrations() > 0
+        assert trace.num_interruptions() == 0
+        assert trace.total_migration_overhead() == 0.0
+
+    def test_topology_aware_cheaper_than_greedy(self):
+        greedy = make_simulator(GreedyBalancer).run()
+        topo = make_simulator(TopologyAwareBalancer).run()
+        assert (
+            topo.total_migration_overhead() < greedy.total_migration_overhead()
+        )
+
+    def test_side_channel_hides_invasive_migration(self):
+        trace = make_simulator(GreedyBalancer, migration_side_channel=True).run()
+        assert trace.num_migrations() > 0
+        assert trace.total_migration_overhead() == 0.0
+
+    def test_beta_limits_invasive_frequency(self):
+        frequent = make_simulator(GreedyBalancer, beta_iters=1, seed=5).run()
+        throttled = make_simulator(GreedyBalancer, beta_iters=25, seed=5).run()
+        assert throttled.num_interruptions() <= frequent.num_interruptions()
+
+    def test_warmup_defers_balancing(self):
+        trace = make_simulator(NonInvasiveBalancer, warmup_iters=12).run()
+        early = [r for r in trace.records if r.iteration < 12]
+        assert all(record.migrations_started == 0 for record in early)
+
+
+class TestNonInvasiveDraining:
+    def test_migrations_eventually_complete(self):
+        trace = make_simulator(NonInvasiveBalancer, iterations=40).run()
+        completed = sum(record.migrations_completed for record in trace.records)
+        assert completed > 0
+
+    def test_drift_keeps_balancer_active(self):
+        mixer = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        trace = make_simulator(NonInvasiveBalancer, iterations=60, mixer=mixer).run()
+        late_migrations = sum(
+            record.migrations_started for record in trace.records[30:]
+        )
+        assert late_migrations > 0
+
+
+class TestTraceStats:
+    def test_mean_component(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        for component in ("moe", "alltoall", "allreduce", "attention"):
+            assert trace.mean_component(component) > 0
+
+    def test_unknown_component(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        with pytest.raises(ValueError):
+            trace.mean_component("gating")
+
+    def test_load_ratio_bounded_below_by_one(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        assert all(record.load_ratio >= 1.0 for record in trace.records)
+
+    def test_serving_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(num_iterations=0)
+        with pytest.raises(ValueError):
+            ServingConfig(alpha=-1.0)

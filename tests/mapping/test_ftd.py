@@ -1,0 +1,64 @@
+"""Tests for FTD geometry analysis (paper Sec. IV-A numbers)."""
+
+import pytest
+
+from repro.mapping.base import ParallelismConfig
+from repro.mapping.baseline import BaselineMapping
+from repro.mapping.er import ERMapping
+from repro.mapping.ftd import analyze_ftds
+from repro.topology.mesh import MeshTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(4, 4)
+
+
+@pytest.fixture
+def parallelism():
+    return ParallelismConfig(tp=4, dp=4, tp_shape=(2, 2))
+
+
+class TestPaperNumbers:
+    def test_er_expected_hops_matches_paper(self, mesh, parallelism):
+        """The paper's 2x2 FTD average: 1.3 hops."""
+        analysis = analyze_ftds(ERMapping(mesh, parallelism))
+        assert analysis.expected_hops == pytest.approx(4 / 3, abs=0.01)
+
+    def test_baseline_hops_exceed_er(self, mesh, parallelism):
+        baseline = analyze_ftds(BaselineMapping(mesh, parallelism))
+        er = analyze_ftds(ERMapping(mesh, parallelism))
+        assert baseline.expected_hops > 1.4 * er.expected_hops
+
+    def test_er_eliminates_intersections(self, mesh, parallelism):
+        analysis = analyze_ftds(ERMapping(mesh, parallelism))
+        assert analysis.overlap_degree == 0.0
+        assert analysis.intersecting_pairs == 0
+
+    def test_baseline_has_central_overlap(self, mesh, parallelism):
+        analysis = analyze_ftds(BaselineMapping(mesh, parallelism))
+        assert analysis.overlap_degree > 0.0
+        assert analysis.intersecting_pairs > 0
+
+    def test_er_regions_tile_the_mesh(self, mesh, parallelism):
+        analysis = analyze_ftds(ERMapping(mesh, parallelism))
+        assert analysis.num_regions == 4
+        assert analysis.mean_area == pytest.approx(4.0)
+
+    def test_baseline_regions_larger(self, mesh, parallelism):
+        baseline = analyze_ftds(BaselineMapping(mesh, parallelism))
+        er = analyze_ftds(ERMapping(mesh, parallelism))
+        assert baseline.mean_area > er.mean_area
+
+
+class TestOtherScales:
+    @pytest.mark.parametrize("side, tp_shape", [(6, (2, 2)), (8, (2, 4)), (8, (4, 4))])
+    def test_er_always_beats_baseline(self, side, tp_shape):
+        mesh = MeshTopology(side, side)
+        tp = tp_shape[0] * tp_shape[1]
+        parallelism = ParallelismConfig(tp=tp, dp=side * side // tp, tp_shape=tp_shape)
+        baseline = analyze_ftds(BaselineMapping(mesh, parallelism))
+        er = analyze_ftds(ERMapping(mesh, parallelism))
+        assert er.expected_hops < baseline.expected_hops
+        assert er.overlap_degree <= baseline.overlap_degree
+        assert er.intersecting_pairs == 0

@@ -1,0 +1,119 @@
+"""Tests for expert placement and shadow slots."""
+
+import pytest
+
+from repro.mapping.placement import ExpertPlacement
+
+
+class TestNativeLayout:
+    def test_uniform_blocks(self):
+        placement = ExpertPlacement(16, 4)
+        assert placement.native_experts_on(0) == [0, 1, 2, 3]
+        assert placement.native_experts_on(3) == [12, 13, 14, 15]
+
+    def test_one_expert_per_device(self):
+        placement = ExpertPlacement(8, 8)
+        for expert in range(8):
+            assert placement.native_device(expert) == expert
+
+    def test_fewer_experts_than_devices(self):
+        placement = ExpertPlacement(4, 8)
+        hosted = [len(placement.native_experts_on(d)) for d in range(8)]
+        assert sum(hosted) == 4
+        assert max(hosted) == 1
+
+    def test_replicas_start_native(self):
+        placement = ExpertPlacement(8, 4)
+        for expert in range(8):
+            assert placement.replicas(expert) == [placement.native_device(expert)]
+            assert placement.num_replicas(expert) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ExpertPlacement(0, 4)
+        with pytest.raises(ValueError):
+            ExpertPlacement(4, 4, shadow_slots=-1)
+
+
+class TestShadowSlots:
+    def test_add_replica(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        placement.add_replica(0, 3)
+        assert placement.replicas(0) == [0, 3]
+        assert placement.hosts(3, 0)
+        assert placement.shadow_free(3) == 0
+
+    def test_capacity_enforced(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        placement.add_replica(0, 3)
+        with pytest.raises(ValueError, match="shadow slot"):
+            placement.add_replica(1, 3)
+
+    def test_duplicate_replica_rejected(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.add_replica(0, 3)
+        with pytest.raises(ValueError, match="already hosts"):
+            placement.add_replica(0, 3)
+
+    def test_native_host_cannot_take_replica(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        with pytest.raises(ValueError, match="already hosts"):
+            placement.add_replica(0, 0)
+
+    def test_drop_replica(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        placement.add_replica(0, 3)
+        placement.drop_replica(0, 3)
+        assert placement.replicas(0) == [0]
+        assert placement.shadow_free(3) == 1
+
+    def test_cannot_drop_native(self):
+        placement = ExpertPlacement(8, 4)
+        with pytest.raises(ValueError, match="no shadow replica"):
+            placement.drop_replica(0, 0)
+
+    def test_reset_shadows(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.add_replica(0, 3)
+        placement.add_replica(1, 3)
+        placement.reset_shadows()
+        for expert in range(8):
+            assert placement.num_replicas(expert) == 1
+
+    def test_experts_on_includes_shadows(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        placement.add_replica(0, 3)
+        assert set(placement.experts_on(3)) == {6, 7, 0}
+
+
+class TestDestinations:
+    def test_equal_shares(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        placement.add_replica(0, 2)
+        destinations = placement.destinations(0)
+        assert destinations == [(0, 0.5), (2, 0.5)]
+
+    def test_single_replica_full_share(self):
+        placement = ExpertPlacement(8, 4)
+        assert placement.destinations(5) == [(2, 1.0)]
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=1)
+        clone = placement.clone()
+        clone.add_replica(0, 3)
+        assert placement.num_replicas(0) == 1
+        assert clone.num_replicas(0) == 2
+
+
+class TestBounds:
+    def test_expert_out_of_range(self):
+        placement = ExpertPlacement(8, 4)
+        with pytest.raises(ValueError, match="expert"):
+            placement.replicas(8)
+
+    def test_device_out_of_range(self):
+        placement = ExpertPlacement(8, 4)
+        with pytest.raises(ValueError, match="device"):
+            placement.experts_on(4)

@@ -1,0 +1,65 @@
+"""Tests for the ESP communication model (Sec. VI-B5)."""
+
+import pytest
+
+from repro.mapping.base import ParallelismConfig
+from repro.mapping.baseline import BaselineMapping
+from repro.mapping.er import ERMapping
+from repro.mapping.gpu import GPUMapping
+from repro.models import DBRX, MIXTRAL_8X22B
+from repro.network.esp import simulate_esp
+from repro.topology.mesh import MeshTopology
+from repro.topology.switched import DGXClusterTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(4, 4)
+
+
+@pytest.fixture
+def parallelism():
+    return ParallelismConfig(tp=4, dp=4, tp_shape=(2, 2))
+
+
+class TestEsp:
+    def test_er_gather_cheaper_than_baseline(self, mesh, parallelism):
+        er = ERMapping(mesh, parallelism)
+        baseline = BaselineMapping(mesh, parallelism)
+        er_result = simulate_esp(er, DBRX, tokens_per_group=256)
+        base_result = simulate_esp(baseline, DBRX, tokens_per_group=256)
+        # ER confines the gather to intra-FTD hops — the all-to-all is
+        # effectively eliminated (Fig. 14a).
+        assert er_result.gather.duration < base_result.gather.duration
+
+    def test_allreduce_dominates_under_er(self, mesh, parallelism):
+        er = ERMapping(mesh, parallelism)
+        result = simulate_esp(er, MIXTRAL_8X22B, tokens_per_group=256)
+        assert result.allreduce.duration > result.gather.duration
+
+    def test_duration_is_sum(self, mesh, parallelism):
+        er = ERMapping(mesh, parallelism)
+        result = simulate_esp(er, DBRX, tokens_per_group=256)
+        assert result.duration == pytest.approx(
+            result.gather.duration + result.allreduce.duration
+        )
+
+    def test_gpu_mapping_supported(self):
+        dgx = DGXClusterTopology(2)
+        mapping = GPUMapping(dgx, ParallelismConfig(tp=4, dp=4))
+        result = simulate_esp(mapping, MIXTRAL_8X22B, tokens_per_group=256)
+        assert result.duration > 0
+
+    def test_wsc_beats_dgx(self, mesh, parallelism):
+        er = ERMapping(mesh, parallelism)
+        dgx = DGXClusterTopology(2)
+        gpu = GPUMapping(dgx, ParallelismConfig(tp=4, dp=4))
+        assert (
+            simulate_esp(er, DBRX, 256).duration
+            < simulate_esp(gpu, DBRX, 256).duration
+        )
+
+    def test_rejects_nonpositive_tokens(self, mesh, parallelism):
+        er = ERMapping(mesh, parallelism)
+        with pytest.raises(ValueError):
+            simulate_esp(er, DBRX, 0)

@@ -1,0 +1,94 @@
+"""Tests for the single-phase congestion model."""
+
+import pytest
+
+from repro.network.phase import simulate_phase
+from repro.network.traffic import Flow, TrafficMatrix
+from repro.topology.mesh import MeshTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(4, 4)
+
+
+class TestEmptyAndTrivial:
+    def test_no_flows_zero_duration(self, mesh):
+        result = simulate_phase(mesh, [])
+        assert result.duration == 0.0
+        assert result.bottleneck_link is None
+
+    def test_self_flows_filtered(self, mesh):
+        result = simulate_phase(mesh, [Flow(0, 0, 100.0)])
+        assert result.duration == 0.0
+
+
+class TestSingleFlow:
+    def test_one_hop_flow(self, mesh):
+        link = mesh.link(0, 1)
+        volume = 1e6
+        result = simulate_phase(mesh, [Flow(0, 1, volume)])
+        assert result.duration == pytest.approx(
+            volume / link.bandwidth + link.latency
+        )
+        assert result.link_bytes == {(0, 1): volume}
+
+    def test_multi_hop_latency_accumulates(self, mesh):
+        result = simulate_phase(mesh, [Flow(0, 15, 1e6)])
+        assert result.latency_time == pytest.approx(mesh.path_latency(0, 15))
+        # O1TURN multipath: half the flow on the XY path, half on YX.
+        assert len(result.link_bytes) == 12
+        assert sum(result.link_bytes.values()) == pytest.approx(6 * 1e6)
+
+    def test_total_volume(self, mesh):
+        result = simulate_phase(mesh, [Flow(0, 1, 5.0), Flow(1, 2, 7.0)])
+        assert result.total_volume == 12.0
+
+
+class TestCongestion:
+    def test_shared_link_serialises(self, mesh):
+        # Flows (0,0)->(0,2) and (0,1)->(0,3) share link (0,1)->(0,2):
+        # cut-through default — the phase drains the busiest link.
+        volume = 1e6
+        flows = [Flow(0, 2, volume), Flow(1, 3, volume)]
+        result = simulate_phase(mesh, flows)
+        bandwidth = mesh.link(1, 2).bandwidth
+        assert result.link_bytes[(1, 2)] == pytest.approx(2 * volume)
+        assert result.serialization_time == pytest.approx(2 * volume / bandwidth)
+
+    def test_store_and_forward_accumulates_path_queues(self, mesh):
+        # Each flow drains its private link (1 volume) then the shared
+        # link's accumulated queue (2 volumes).
+        volume = 1e6
+        flows = [Flow(0, 2, volume), Flow(1, 3, volume)]
+        result = simulate_phase(mesh, flows, store_and_forward=True)
+        bandwidth = mesh.link(1, 2).bandwidth
+        assert result.serialization_time == pytest.approx(3 * volume / bandwidth)
+
+    def test_disjoint_flows_do_not_serialise(self, mesh):
+        volume = 1e6
+        flows = [Flow(0, 1, volume), Flow(4, 5, volume)]
+        result = simulate_phase(mesh, flows)
+        link = mesh.link(0, 1)
+        assert result.serialization_time == pytest.approx(volume / link.bandwidth)
+
+    def test_bottleneck_link_identified(self, mesh):
+        flows = [Flow(0, 2, 1e6), Flow(1, 3, 1e6), Flow(4, 5, 1e3)]
+        result = simulate_phase(mesh, flows)
+        assert result.bottleneck_link == (1, 2)
+
+    def test_accepts_traffic_matrix(self, mesh):
+        matrix = TrafficMatrix()
+        matrix.add(0, 1, 1e6)
+        assert simulate_phase(mesh, matrix).duration > 0
+
+    def test_duration_monotone_in_volume(self, mesh):
+        small = simulate_phase(mesh, [Flow(0, 15, 1e5)]).duration
+        large = simulate_phase(mesh, [Flow(0, 15, 1e6)]).duration
+        assert large > small
+
+    def test_merge_link_bytes(self, mesh):
+        result = simulate_phase(mesh, [Flow(0, 1, 1e3)])
+        acc = {(0, 1): 1.0}
+        result.merge_link_bytes(acc)
+        assert acc[(0, 1)] == pytest.approx(1e3 + 1.0)

@@ -1,0 +1,76 @@
+"""Tests for flows and traffic matrices."""
+
+import pytest
+
+from repro.network.traffic import Flow, TrafficMatrix
+
+
+class TestFlow:
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, -1.0)
+
+    def test_zero_volume_allowed(self):
+        assert Flow(0, 1, 0.0).volume == 0.0
+
+
+class TestTrafficMatrix:
+    def test_merges_duplicate_pairs(self):
+        matrix = TrafficMatrix()
+        matrix.add(0, 1, 10.0)
+        matrix.add(0, 1, 5.0)
+        assert len(matrix) == 1
+        assert matrix.total_volume == 15.0
+
+    def test_ignores_self_flows(self):
+        matrix = TrafficMatrix()
+        matrix.add(3, 3, 10.0)
+        assert len(matrix) == 0
+
+    def test_ignores_zero_volume(self):
+        matrix = TrafficMatrix()
+        matrix.add(0, 1, 0.0)
+        assert not matrix
+
+    def test_rejects_negative(self):
+        matrix = TrafficMatrix()
+        with pytest.raises(ValueError):
+            matrix.add(0, 1, -1.0)
+
+    def test_add_flow(self):
+        matrix = TrafficMatrix()
+        matrix.add_flow(Flow(1, 2, 7.0))
+        assert dict(matrix.items()) == {(1, 2): 7.0}
+
+    def test_merge(self):
+        first = TrafficMatrix()
+        first.add(0, 1, 1.0)
+        second = TrafficMatrix()
+        second.add(0, 1, 2.0)
+        second.add(1, 0, 3.0)
+        first.merge(second)
+        assert first.total_volume == 6.0
+        assert len(first) == 2
+
+    def test_flows_roundtrip(self):
+        matrix = TrafficMatrix()
+        matrix.add(0, 1, 4.0)
+        flows = matrix.flows()
+        assert flows == [Flow(0, 1, 4.0)]
+
+    def test_scaled(self):
+        matrix = TrafficMatrix()
+        matrix.add(0, 1, 4.0)
+        scaled = matrix.scaled(0.5)
+        assert scaled.total_volume == 2.0
+        assert matrix.total_volume == 4.0  # original untouched
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().scaled(-1.0)
+
+    def test_bool(self):
+        matrix = TrafficMatrix()
+        assert not matrix
+        matrix.add(0, 1, 1.0)
+        assert matrix

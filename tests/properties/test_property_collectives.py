@@ -1,0 +1,115 @@
+"""Property-based tests for the network simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.base import ParallelismConfig
+from repro.mapping.er import ERMapping
+from repro.mapping.placement import ExpertPlacement
+from repro.network.allreduce import ring_allreduce
+from repro.network.alltoall import build_dispatch_traffic, simulate_alltoall
+from repro.network.phase import simulate_phase
+from repro.network.traffic import Flow, TrafficMatrix
+from repro.topology.mesh import MeshTopology
+
+MESH = MeshTopology(4, 4)
+ER = ERMapping(MESH, ParallelismConfig(tp=4, dp=4, tp_shape=(2, 2)))
+PLACEMENT = ExpertPlacement(16, 16)
+
+flows_strategy = st.lists(
+    st.builds(
+        Flow,
+        src=st.integers(0, 15),
+        dst=st.integers(0, 15),
+        volume=st.floats(0.0, 1e9, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+class TestPhaseProperties:
+    @given(flows_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_duration_nonnegative(self, flows):
+        assert simulate_phase(MESH, flows).duration >= 0.0
+
+    @given(flows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_store_and_forward_at_least_cut_through(self, flows):
+        sf = simulate_phase(MESH, flows, store_and_forward=True)
+        ct = simulate_phase(MESH, flows, store_and_forward=False)
+        assert sf.duration >= ct.duration - 1e-15
+
+    @given(flows_strategy, st.floats(1.1, 4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_volume_never_speeds_up(self, flows, factor):
+        base = simulate_phase(MESH, flows).duration
+        scaled = simulate_phase(
+            MESH, [Flow(f.src, f.dst, f.volume * factor) for f in flows]
+        ).duration
+        assert scaled >= base - 1e-15
+
+    @given(flows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_link_bytes_conserve_volume_hops(self, flows):
+        result = simulate_phase(MESH, flows)
+        expected = sum(
+            f.volume * MESH.hops(f.src, f.dst)
+            for f in flows
+            if f.src != f.dst and f.volume > 0
+        )
+        assert sum(result.link_bytes.values()) == np.float64(expected) or abs(
+            sum(result.link_bytes.values()) - expected
+        ) < 1e-6 * max(expected, 1.0)
+
+
+class TestRingProperties:
+    @given(volume=st.floats(1.0, 1e9), staggered=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_allreduce_monotone_in_volume(self, volume, staggered):
+        groups = [[0, 1, 5, 4]]
+        small = ring_allreduce(MESH, groups, volume, staggered=staggered)
+        large = ring_allreduce(MESH, groups, volume * 2, staggered=staggered)
+        assert large.duration >= small.duration
+
+    @given(volume=st.floats(1.0, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_total_volume_identity(self, volume):
+        groups = [[0, 1, 5, 4], [2, 3, 7, 6]]
+        result = ring_allreduce(MESH, groups, volume)
+        n = 4
+        expected = 2 * (n - 1) * len(groups) * n * (volume / n)
+        assert abs(result.total_volume - expected) < 1e-6 * expected
+
+
+class TestAllToAllProperties:
+    @given(
+        counts=st.lists(
+            st.lists(st.floats(0, 1000, allow_nan=False), min_size=16, max_size=16),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dispatch_volume_bounded_by_demand(self, counts):
+        demand = np.asarray(counts)
+        traffic = build_dispatch_traffic(
+            demand, PLACEMENT.destinations, ER.token_holders
+        )
+        assert traffic.total_volume <= demand.sum() + 1e-6
+
+    @given(
+        counts=st.lists(
+            st.lists(st.floats(0, 1000, allow_nan=False), min_size=16, max_size=16),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combine_mirrors_dispatch(self, counts):
+        demand = np.asarray(counts)
+        result = simulate_alltoall(
+            MESH, demand, PLACEMENT.destinations, ER.token_holders
+        )
+        assert result.dispatch.total_volume == result.combine.total_volume

@@ -1,0 +1,91 @@
+"""Property-based tests for topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.mesh import Coord, MeshTopology, MultiWaferTopology
+from repro.topology.switched import DGXClusterTopology
+
+mesh_dims = st.integers(min_value=1, max_value=7)
+
+
+@st.composite
+def mesh_and_pair(draw):
+    height = draw(mesh_dims)
+    width = draw(mesh_dims)
+    mesh = MeshTopology(height, width)
+    src = draw(st.integers(0, mesh.num_devices - 1))
+    dst = draw(st.integers(0, mesh.num_devices - 1))
+    return mesh, src, dst
+
+
+class TestMeshRouting:
+    @given(mesh_and_pair())
+    @settings(max_examples=150, deadline=None)
+    def test_route_is_shortest_path(self, case):
+        mesh, src, dst = case
+        assert len(mesh.route(src, dst)) == mesh.manhattan(src, dst)
+
+    @given(mesh_and_pair())
+    @settings(max_examples=150, deadline=None)
+    def test_route_continuous_and_terminates(self, case):
+        mesh, src, dst = case
+        path = mesh.route(src, dst)
+        here = src
+        for link in path:
+            assert link.src == here
+            here = link.dst
+        assert here == dst
+
+    @given(mesh_and_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_hops_symmetric(self, case):
+        mesh, src, dst = case
+        assert mesh.hops(src, dst) == mesh.hops(dst, src)
+
+    @given(mesh_and_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_coord_roundtrip(self, case):
+        mesh, src, _ = case
+        assert mesh.device_at(mesh.coord_of(src)) == src
+
+
+class TestMultiWafer:
+    @given(
+        num_wafers=st.integers(1, 4),
+        side=st.integers(2, 5),
+        x=st.integers(0, 100),
+        y=st.integers(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_wafer_partition(self, num_wafers, side, x, y):
+        system = MultiWaferTopology(num_wafers, side, side)
+        device = (x % side) * system.width + (y % system.width)
+        wafer = system.wafer_of(device)
+        assert 0 <= wafer < num_wafers
+        assert device in system.wafer_devices(wafer)
+
+    @given(num_wafers=st.integers(1, 4), side=st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_local_coord_within_wafer(self, num_wafers, side):
+        system = MultiWaferTopology(num_wafers, side, side)
+        for device in system.devices:
+            local = system.local_coord(device)
+            assert 0 <= local.x < side
+            assert 0 <= local.y < side
+
+
+class TestSwitched:
+    @given(num_nodes=st.integers(1, 6), src=st.integers(0, 100), dst=st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_dgx_route_lengths(self, num_nodes, src, dst):
+        dgx = DGXClusterTopology(num_nodes)
+        src %= dgx.num_devices
+        dst %= dgx.num_devices
+        path = dgx.route(src, dst)
+        if src == dst:
+            assert path == []
+        elif dgx.node_of(src) == dgx.node_of(dst):
+            assert len(path) == 2
+        else:
+            assert len(path) == 4

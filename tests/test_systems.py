@@ -1,0 +1,97 @@
+"""Tests for the high-level system builders."""
+
+import pytest
+
+from repro.mapping.baseline import BaselineMapping
+from repro.mapping.er import ERMapping
+from repro.mapping.gpu import GPUMapping
+from repro.mapping.her import HierarchicalERMapping
+from repro.models import DEEPSEEK_V3, QWEN3_235B
+from repro.systems import (
+    _square_tp_shape,
+    build_dgx,
+    build_multi_wsc,
+    build_nvl72,
+    build_wsc,
+)
+
+
+class TestBuildWsc:
+    def test_er_default(self):
+        system = build_wsc(QWEN3_235B, side=4, tp=4)
+        assert isinstance(system.mapping, ERMapping)
+        assert system.num_devices == 16
+
+    def test_baseline(self):
+        system = build_wsc(QWEN3_235B, side=6, tp=4, mapping="baseline")
+        assert isinstance(system.mapping, BaselineMapping)
+        assert system.mapping.dp == 9
+
+    def test_unknown_mapping(self):
+        with pytest.raises(ValueError, match="unknown mesh mapping"):
+            build_wsc(QWEN3_235B, side=4, tp=4, mapping="magic")
+
+    def test_explicit_tp_shape(self):
+        system = build_wsc(QWEN3_235B, side=8, tp=8, tp_shape=(8, 1))
+        assert system.mapping.tp_shape == (8, 1)
+
+    def test_fresh_placement(self):
+        system = build_wsc(DEEPSEEK_V3, side=4, tp=4)
+        placement = system.fresh_placement(shadow_slots=2)
+        assert placement.num_experts == 256
+        assert placement.num_devices == 16
+        assert placement.shadow_slots == 2
+
+
+class TestBuildMultiWsc:
+    def test_her_default(self):
+        system = build_multi_wsc(QWEN3_235B, num_wafers=4, side=4, tp=4)
+        assert isinstance(system.mapping, HierarchicalERMapping)
+        assert system.num_devices == 64
+
+    def test_flat_er(self):
+        system = build_multi_wsc(QWEN3_235B, num_wafers=2, side=4, tp=4, mapping="er")
+        assert isinstance(system.mapping, ERMapping)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="multi-wafer"):
+            build_multi_wsc(QWEN3_235B, num_wafers=2, side=4, tp=4, mapping="x")
+
+
+class TestBuildGpu:
+    def test_dgx(self):
+        system = build_dgx(QWEN3_235B, num_nodes=4, tp=4)
+        assert isinstance(system.mapping, GPUMapping)
+        assert system.num_devices == 32
+
+    def test_nvl72(self):
+        system = build_nvl72(QWEN3_235B, tp=4)
+        assert system.num_devices == 72
+        assert system.mapping.dp == 18
+
+    def test_nvl72_tp_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            build_nvl72(QWEN3_235B, tp=7)
+
+
+class TestTpShapeFactorisation:
+    @pytest.mark.parametrize(
+        "tp, height, width, expected",
+        [
+            (4, 4, 4, (2, 2)),
+            (2, 4, 4, (1, 2)),
+            (8, 4, 4, (2, 4)),
+            (16, 8, 8, (4, 4)),
+            (36, 6, 6, (6, 6)),
+            (6, 6, 6, (2, 3)),
+        ],
+    )
+    def test_most_square_factorisation(self, tp, height, width, expected):
+        tpx, tpy = _square_tp_shape(tp, height, width)
+        assert tpx * tpy == tp
+        assert height % tpx == 0 and width % tpy == 0
+        assert abs(tpx - tpy) == abs(expected[0] - expected[1])
+
+    def test_impossible_factorisation(self):
+        with pytest.raises(ValueError, match="tile"):
+            _square_tp_shape(5, 4, 4)

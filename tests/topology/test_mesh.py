@@ -1,0 +1,117 @@
+"""Tests for the single-wafer mesh topology."""
+
+import pytest
+
+from repro.hardware.interconnect import WSC_LINK
+from repro.topology.base import Link
+from repro.topology.mesh import Coord, MeshTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(4, 4)
+
+
+class TestConstruction:
+    def test_device_count(self, mesh):
+        assert mesh.num_devices == 16
+
+    def test_rectangular(self):
+        mesh = MeshTopology(2, 6)
+        assert mesh.num_devices == 12
+        assert mesh.height == 2 and mesh.width == 6
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            MeshTopology(0, 4)
+        with pytest.raises(ValueError):
+            MeshTopology(4, -1)
+
+    def test_link_count_bidirectional_grid(self, mesh):
+        # 4x4 grid: 2 * (3*4 + 4*3) directed links.
+        assert len(mesh.links) == 2 * (3 * 4 + 4 * 3)
+
+    def test_links_use_wsc_spec(self, mesh):
+        link = mesh.link(0, 1)
+        assert link.bandwidth == WSC_LINK.bandwidth
+        assert link.latency == WSC_LINK.link_latency
+
+    def test_validate_passes(self, mesh):
+        mesh.validate()
+
+
+class TestCoordinates:
+    def test_coord_roundtrip(self, mesh):
+        for device in mesh.devices:
+            assert mesh.device_at(mesh.coord_of(device)) == device
+
+    def test_row_major_layout(self, mesh):
+        assert mesh.coord_of(0) == Coord(0, 0)
+        assert mesh.coord_of(5) == Coord(1, 1)
+        assert mesh.coord_of(15) == Coord(3, 3)
+
+    def test_coord_out_of_range(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.coord_of(16)
+        with pytest.raises(ValueError):
+            mesh.device_at(Coord(4, 0))
+
+    def test_manhattan(self, mesh):
+        assert mesh.manhattan(0, 15) == 6
+        assert mesh.manhattan(0, 0) == 0
+
+    def test_neighbors_corner_edge_center(self, mesh):
+        assert len(mesh.neighbors(0)) == 2
+        assert len(mesh.neighbors(1)) == 3
+        assert len(mesh.neighbors(5)) == 4
+
+    def test_coord_manhattan_helper(self):
+        assert Coord(0, 0).manhattan(Coord(2, 3)) == 5
+
+
+class TestRouting:
+    def test_route_is_xy_rows_first(self, mesh):
+        path = mesh.route(0, 15)
+        # 0 -> (1,0) -> (2,0) -> (3,0) -> (3,1) -> (3,2) -> (3,3)
+        nodes = [path[0].src] + [link.dst for link in path]
+        coords = [mesh.coord_of(node) for node in nodes]
+        xs_done = [c.x for c in coords]
+        assert xs_done == sorted(xs_done)
+
+    def test_route_length_is_manhattan(self, mesh):
+        for src in mesh.devices:
+            for dst in mesh.devices:
+                assert len(mesh.route(src, dst)) == mesh.manhattan(src, dst)
+
+    def test_hops_shortcut_matches_route(self, mesh):
+        assert mesh.hops(0, 15) == len(mesh.route(0, 15)) == 6
+
+    def test_self_route_empty(self, mesh):
+        assert mesh.route(7, 7) == []
+
+    def test_route_continuity(self, mesh):
+        path = mesh.route(3, 12)
+        for first, second in zip(path, path[1:]):
+            assert first.dst == second.src
+
+    def test_path_latency(self, mesh):
+        assert mesh.path_latency(0, 15) == pytest.approx(6 * WSC_LINK.link_latency)
+
+    def test_route_returns_fresh_list(self, mesh):
+        first = mesh.route(0, 3)
+        first.append(None)
+        assert None not in mesh.route(0, 3)
+
+
+class TestLinkValidation:
+    def test_link_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-link"):
+            Link(1, 1, 1.0, 0.0)
+
+    def test_link_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link(0, 1, 0.0, 0.0)
+
+    def test_missing_link_raises(self, mesh):
+        with pytest.raises(KeyError, match="no link"):
+            mesh.link(0, 5)

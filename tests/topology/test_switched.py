@@ -1,0 +1,105 @@
+"""Tests for DGX and NVL72 switched topologies."""
+
+import pytest
+
+from repro.hardware.interconnect import INFINIBAND, NVLINK
+from repro.topology.switched import (
+    DGXClusterTopology,
+    NVL72Topology,
+    SwitchedTopology,
+)
+
+
+@pytest.fixture
+def dgx():
+    return DGXClusterTopology(num_nodes=4)
+
+
+@pytest.fixture
+def nvl72():
+    return NVL72Topology()
+
+
+class TestDGXStructure:
+    def test_device_count(self, dgx):
+        assert dgx.num_devices == 32
+
+    def test_node_of(self, dgx):
+        assert dgx.node_of(0) == 0
+        assert dgx.node_of(7) == 0
+        assert dgx.node_of(8) == 1
+        assert dgx.node_of(31) == 3
+
+    def test_group_devices(self, dgx):
+        assert dgx.group_devices(1) == list(range(8, 16))
+
+    def test_switch_ids_above_devices(self, dgx):
+        for key in dgx.links:
+            src, dst = key
+            assert src >= 0 and dst >= 0
+        assert not dgx.is_device(32)  # first leaf switch id
+
+    def test_validate(self, dgx):
+        dgx.validate()
+
+    def test_uplink_aggregates_eight_nics(self, dgx):
+        leaf = dgx._leaf_of(0)
+        core = dgx._core
+        uplink = dgx.link(leaf, core)
+        assert uplink.bandwidth == pytest.approx(8 * INFINIBAND.bandwidth)
+
+
+class TestDGXRouting:
+    def test_intra_node_two_hops_via_leaf(self, dgx):
+        path = dgx.route(0, 7)
+        assert len(path) == 2
+        assert all(link.bandwidth == NVLINK.bandwidth for link in path)
+
+    def test_inter_node_four_hops_via_core(self, dgx):
+        path = dgx.route(0, 8)
+        assert len(path) == 4
+        bandwidths = [link.bandwidth for link in path]
+        assert min(bandwidths) == pytest.approx(8 * INFINIBAND.bandwidth)
+
+    def test_self_route_empty(self, dgx):
+        assert dgx.route(5, 5) == []
+
+    def test_inter_node_latency_dominated_by_ib(self, dgx):
+        intra = dgx.path_latency(0, 1)
+        inter = dgx.path_latency(0, 9)
+        assert inter > intra
+
+
+class TestNVL72:
+    def test_72_devices_single_fabric(self, nvl72):
+        assert nvl72.num_devices == 72
+        assert nvl72.num_groups == 1
+
+    def test_all_pairs_two_hops(self, nvl72):
+        assert len(nvl72.route(0, 71)) == 2
+
+    def test_all_links_nvlink(self, nvl72):
+        assert all(
+            link.bandwidth == NVLINK.bandwidth for link in nvl72.links.values()
+        )
+
+    def test_validate(self, nvl72):
+        nvl72.validate()
+
+
+class TestValidation:
+    def test_multi_group_requires_uplink(self):
+        with pytest.raises(ValueError, match="uplink"):
+            SwitchedTopology(num_groups=2, devices_per_group=4, leaf_link=NVLINK)
+
+    def test_rejects_nonpositive_groups(self):
+        with pytest.raises(ValueError):
+            SwitchedTopology(num_groups=0, devices_per_group=4, leaf_link=NVLINK)
+
+    def test_group_of_out_of_range(self, dgx):
+        with pytest.raises(ValueError):
+            dgx.group_of(32)
+
+    def test_group_devices_out_of_range(self, dgx):
+        with pytest.raises(ValueError):
+            dgx.group_devices(4)

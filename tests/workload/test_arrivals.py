@@ -1,0 +1,76 @@
+"""Tests for scenario mixers."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import AzureLikeMixer, ConstantMixer
+from repro.workload.scenarios import CHAT, CODING, MATH, PRIVACY
+
+ALL = [CHAT, CODING, MATH, PRIVACY]
+
+
+class TestConstantMixer:
+    def test_defaults_to_uniform(self):
+        mixer = ConstantMixer(ALL)
+        np.testing.assert_allclose(mixer.weights(0), [0.25] * 4)
+
+    def test_fixed_weights_normalised(self):
+        mixer = ConstantMixer([MATH, CHAT], fixed_weights=[3.0, 1.0])
+        np.testing.assert_allclose(mixer.weights(10), [0.75, 0.25])
+
+    def test_single_scenario(self):
+        mixer = ConstantMixer([MATH])
+        assert mixer.weights(0).tolist() == [1.0]
+
+    def test_weights_constant_over_time(self):
+        mixer = ConstantMixer(ALL)
+        np.testing.assert_array_equal(mixer.weights(0), mixer.weights(1000))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            ConstantMixer(ALL, fixed_weights=[1.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            ConstantMixer([MATH], fixed_weights=[-1.0])
+
+    def test_requires_scenarios(self):
+        with pytest.raises(ValueError):
+            ConstantMixer([])
+
+    def test_popularity_mixture_normalised(self):
+        mixer = ConstantMixer(ALL)
+        popularity = mixer.popularity(128, layer=0, iteration=0)
+        assert popularity.sum() == pytest.approx(1.0)
+
+
+class TestAzureLikeMixer:
+    def test_weights_normalised_and_positive(self):
+        mixer = AzureLikeMixer(ALL, period_iters=100)
+        for iteration in range(0, 300, 17):
+            weights = mixer.weights(iteration)
+            assert weights.sum() == pytest.approx(1.0)
+            assert (weights >= 0).all()
+
+    def test_composition_drifts(self):
+        mixer = AzureLikeMixer(ALL, period_iters=200, noise=0.0)
+        early = mixer.weights(0)
+        later = mixer.weights(100)
+        assert not np.allclose(early, later, atol=0.05)
+
+    def test_cyclic_without_noise(self):
+        mixer = AzureLikeMixer(ALL, period_iters=100, noise=0.0)
+        np.testing.assert_allclose(mixer.weights(0), mixer.weights(100), atol=1e-9)
+
+    def test_phase_shift_rotates_dominance(self):
+        mixer = AzureLikeMixer(ALL, period_iters=400, noise=0.0)
+        dominant = {int(np.argmax(mixer.weights(t))) for t in range(0, 400, 10)}
+        assert len(dominant) == 4  # every scenario leads at some point
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            AzureLikeMixer(ALL, period_iters=0)
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            AzureLikeMixer(ALL, noise=1.5)

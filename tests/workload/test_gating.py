@@ -1,0 +1,120 @@
+"""Tests for the gating simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.load import device_token_loads, load_ratio
+from repro.mapping.placement import ExpertPlacement
+from repro.models import QWEN3_235B
+from repro.workload.arrivals import AzureLikeMixer, ConstantMixer
+from repro.workload.gating import GatingSimulator
+from repro.workload.scenarios import CHAT, CODING, MATH, PRIVACY
+
+
+def make_sim(**kwargs):
+    defaults = dict(
+        model=QWEN3_235B,
+        num_groups=4,
+        tokens_per_group=64,
+        mixer=MATH,
+        num_layers=2,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return GatingSimulator(**defaults)
+
+
+class TestCounts:
+    def test_shape(self):
+        counts = make_sim().next_counts()
+        assert counts.shape == (2, 4, 128)
+
+    def test_total_selections(self):
+        counts = make_sim().next_counts()
+        per_group = counts.sum(axis=2)
+        np.testing.assert_allclose(per_group, 64 * 8)
+
+    def test_nonnegative_integers(self):
+        counts = make_sim().next_counts()
+        assert (counts >= 0).all()
+        np.testing.assert_array_equal(counts, counts.astype(int))
+
+    def test_iteration_advances(self):
+        sim = make_sim()
+        assert sim.iteration == 0
+        sim.next_counts()
+        assert sim.iteration == 1
+
+    def test_seeded_reproducibility(self):
+        a = make_sim(seed=42).next_counts()
+        b = make_sim(seed=42).next_counts()
+        np.testing.assert_array_equal(a, b)
+
+    def test_expert_loads_sums_groups(self):
+        sim = make_sim()
+        counts = sim.next_counts()
+        loads = sim.expert_loads(counts)
+        assert loads.shape == (2, 128)
+        np.testing.assert_allclose(loads, counts.sum(axis=1))
+
+
+class TestImbalanceProperties:
+    """The three load properties Fig. 12 depends on."""
+
+    def test_skewed_loads(self):
+        sim = make_sim(tokens_per_group=256)
+        for _ in range(30):
+            counts = sim.next_counts()
+        placement = ExpertPlacement(128, 8)
+        loads = device_token_loads(counts[0].sum(axis=0), placement)
+        assert load_ratio(loads) > 1.5
+
+    def test_balanced_mode_is_uniform(self):
+        sim = make_sim(balanced=True, tokens_per_group=4096)
+        counts = sim.next_counts()
+        placement = ExpertPlacement(128, 8)
+        loads = device_token_loads(counts[0].sum(axis=0), placement)
+        assert load_ratio(loads) < 1.15
+
+    def test_fixed_scenario_stabilises_after_warmup(self):
+        """Device load ratios stabilise in a fixed scenario (Fig. 12)."""
+        sim = make_sim(tokens_per_group=1024, adaptation=0.15)
+        placement = ExpertPlacement(128, 8)
+        ratios = []
+        for _ in range(60):
+            counts = sim.next_counts()
+            loads = device_token_loads(counts[0].sum(axis=0), placement)
+            ratios.append(loads / loads.sum())
+        early_drift = np.abs(np.diff(ratios[:10], axis=0)).mean()
+        late_drift = np.abs(np.diff(ratios[-10:], axis=0)).mean()
+        assert late_drift < early_drift
+
+    def test_mixed_scenario_keeps_drifting(self):
+        mixer = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=120)
+        sim = make_sim(mixer=mixer, tokens_per_group=1024, adaptation=0.3)
+        popularity_snapshots = []
+        for iteration in range(180):
+            sim.next_counts()
+            if iteration % 60 == 0:
+                popularity_snapshots.append(sim._state[0].copy())
+        assert not np.allclose(
+            popularity_snapshots[0], popularity_snapshots[-1], atol=1e-3
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            make_sim(num_groups=0)
+
+    def test_rejects_bad_adaptation(self):
+        with pytest.raises(ValueError):
+            make_sim(adaptation=0.0)
+
+    def test_rejects_bad_layers(self):
+        with pytest.raises(ValueError):
+            make_sim(num_layers=0)
+
+    def test_scenario_promoted_to_constant_mixer(self):
+        sim = make_sim(mixer=MATH)
+        assert isinstance(sim.mixer, ConstantMixer)

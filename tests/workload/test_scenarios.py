@@ -1,0 +1,74 @@
+"""Tests for scenario popularity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workload.scenarios import (
+    CHAT,
+    CODING,
+    MATH,
+    PRIVACY,
+    SCENARIOS,
+    ScenarioProfile,
+    get_scenario,
+)
+
+
+class TestPopularity:
+    def test_normalised(self):
+        for scenario in SCENARIOS.values():
+            popularity = scenario.popularity(128)
+            assert popularity.sum() == pytest.approx(1.0)
+            assert (popularity >= 0).all()
+
+    def test_deterministic(self):
+        first = MATH.popularity(128, layer=3)
+        second = MATH.popularity(128, layer=3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_layers_differ(self):
+        assert not np.allclose(MATH.popularity(128, 0), MATH.popularity(128, 1))
+
+    def test_scenarios_differ(self):
+        assert not np.allclose(MATH.popularity(128), CODING.popularity(128))
+
+    def test_skewed(self):
+        """Domain boost concentrates mass far above uniform."""
+        popularity = MATH.popularity(128)
+        assert popularity.max() > 3.0 / 128
+
+    def test_math_more_skewed_than_chat(self):
+        math_top = np.sort(MATH.popularity(256))[-16:].sum()
+        chat_top = np.sort(CHAT.popularity(256))[-16:].sum()
+        assert math_top > chat_top
+
+    def test_rejects_nonpositive_experts(self):
+        with pytest.raises(ValueError):
+            MATH.popularity(0)
+
+
+class TestValidation:
+    def test_domain_fraction_bounds(self):
+        with pytest.raises(ValueError, match="domain_fraction"):
+            ScenarioProfile("x", seed=1, domain_fraction=0.0)
+
+    def test_domain_boost_bounds(self):
+        with pytest.raises(ValueError, match="domain_boost"):
+            ScenarioProfile("x", seed=1, domain_boost=1.0)
+
+    def test_zipf_alpha_bounds(self):
+        with pytest.raises(ValueError, match="zipf_alpha"):
+            ScenarioProfile("x", seed=1, zipf_alpha=-0.1)
+
+
+class TestRegistry:
+    def test_four_scenarios(self):
+        assert set(SCENARIOS) == {"chat", "coding", "math", "privacy"}
+
+    def test_get_scenario(self):
+        assert get_scenario("Math") is MATH
+        assert get_scenario("PRIVACY") is PRIVACY
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("gaming")
