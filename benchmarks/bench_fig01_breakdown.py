@@ -1,66 +1,12 @@
-"""Fig. 1a: per-device MoE latency breakdown across cluster classes.
+"""Fig. 1a, per-device MoE latency breakdown across cluster classes.
 
-DeepSeek-V3 decode with EP equal to the device count of each platform:
-DGX (E/D = 256/32), NVL72 (256/72), WSC 4x(8x8) (256/256) without and with
-MoEntwine.  Total latency is the max of computation and communication (the
-phases overlap); the bars show how the all-to-all share shrinks and
-computation dominates once MoEntwine removes the communication bottleneck.
+Thin wrapper over the ``fig01_breakdown`` spec in
+``repro.experiments.figures.fig01`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig01``.
 """
 
-import numpy as np
-from helpers import comm_breakdown, emit, us
-
-from repro.analysis.report import format_table
-from repro.engine.compute import ComputeModel
-from repro.models import DEEPSEEK_V3
-from repro.systems import build_dgx, build_multi_wsc, build_nvl72
-
-TOKENS_PER_DEVICE = 64
-
-
-def measure(system, tokens_per_device=TOKENS_PER_DEVICE):
-    model = system.model
-    tokens_per_group = tokens_per_device * system.num_devices // system.mapping.dp
-    _, alltoall = comm_breakdown(system, tokens_per_group=tokens_per_group)
-    loads = np.full(
-        model.num_experts,
-        tokens_per_device * system.num_devices * model.experts_per_token
-        / model.num_experts,
-    )
-    moe = ComputeModel(system.device, model).moe_peak_time(
-        loads, system.fresh_placement()
-    )
-    total = max(moe.total, alltoall)
-    return alltoall, moe.total, total
-
-
-def build_table():
-    model = DEEPSEEK_V3
-    configs = [
-        ("DGX 4-node (E/D=256/32)", build_dgx(model, num_nodes=4, tp=4)),
-        ("NVL72 (E/D=256/72)", build_nvl72(model, tp=4)),
-        ("WSC 4x(8x8) baseline (E/D=256/256)",
-         build_multi_wsc(model, 4, 8, tp=4, mapping="baseline")),
-        ("WSC 4x(8x8) + MoEntwine (E/D=256/256)",
-         build_multi_wsc(model, 4, 8, tp=4, mapping="her")),
-    ]
-    rows = []
-    for name, system in configs:
-        alltoall, moe, total = measure(system)
-        rows.append(
-            [
-                name,
-                f"{us(alltoall):.1f}us",
-                f"{us(moe):.1f}us",
-                f"{us(total):.1f}us",
-                f"{alltoall / total:.2f}",
-            ]
-        )
-    return format_table(
-        ["Platform", "All-to-all", "MoE compute", "Total (max)", "A2A share"], rows
-    )
+from helpers import run_and_emit
 
 
 def test_fig01_breakdown(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig01_breakdown", table)
+    run_and_emit(benchmark, "fig01_breakdown")

@@ -1,56 +1,16 @@
-"""Fig. 4: EP sweep — per-device MoE performance and time breakdown.
+"""Fig. 4, EP sweep: per-device MoE performance and time breakdown.
 
-For EP in {8, 16, 32, 72, 256} (EP = device count), the compute vs
-memory-access split of the per-device MoE time and the resulting relative
-per-device performance, for DeepSeek-V3 and Qwen3.  The paper's annotations
-(memory share falling from ~44% to ~22% for DeepSeek-V3) are the shape to
-match.
+Thin wrapper over the ``fig04_ep_sweep_*`` specs in
+``repro.experiments.figures.fig04`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig04``.
 """
 
-import numpy as np
-from helpers import emit
-
-from repro.analysis.report import format_table
-from repro.engine.compute import ComputeModel
-from repro.hardware.device import B200
-from repro.mapping.placement import ExpertPlacement
-from repro.models import DEEPSEEK_V3, QWEN3_235B
-
-EP_POINTS = [8, 16, 32, 72, 256]
-TOKENS_PER_DEVICE = 64
-
-
-def sweep(model):
-    compute = ComputeModel(B200, model)
-    rows = []
-    baseline_throughput = None
-    for ep in EP_POINTS:
-        placement = ExpertPlacement(model.num_experts, ep)
-        total_selected = TOKENS_PER_DEVICE * ep * model.experts_per_token
-        loads = np.full(model.num_experts, total_selected / model.num_experts)
-        peak = compute.moe_peak_time(loads, placement)
-        throughput = TOKENS_PER_DEVICE / peak.total
-        if baseline_throughput is None:
-            baseline_throughput = throughput
-        rows.append(
-            [
-                ep,
-                f"{model.num_experts / ep:.2f}",
-                f"{peak.memory_fraction * 100:.1f}%",
-                f"{(1 - peak.memory_fraction) * 100:.1f}%",
-                f"{throughput / baseline_throughput:.2f}x",
-            ]
-        )
-    return format_table(
-        ["EP", "E/D", "Memory access", "Computation", "Rel. per-device perf"], rows
-    )
+from helpers import run_and_emit
 
 
 def test_fig04_deepseek(benchmark):
-    table = benchmark.pedantic(sweep, args=(DEEPSEEK_V3,), rounds=1, iterations=1)
-    emit("fig04_ep_sweep_deepseek_v3", table)
+    run_and_emit(benchmark, "fig04_ep_sweep_deepseek_v3")
 
 
 def test_fig04_qwen3(benchmark):
-    table = benchmark.pedantic(sweep, args=(QWEN3_235B,), rounds=1, iterations=1)
-    emit("fig04_ep_sweep_qwen3", table)
+    run_and_emit(benchmark, "fig04_ep_sweep_qwen3")

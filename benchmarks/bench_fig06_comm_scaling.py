@@ -1,57 +1,12 @@
-"""Fig. 6: all-reduce vs all-to-all latency as the WSC scales.
+"""Fig. 6, all-reduce vs all-to-all latency as the WSC scales.
 
-Single wafers 4x4 / 6x6 / 8x8 and multi-wafer 4x(6x6) / 4x(8x8) under the
-baseline mapping, in a prefill regime (4096 tokens per group, link latency
-negligible) and a decode regime (256 tokens per group).  The paper's shape:
-all-reduce stays near-flat while all-to-all surges with scale.
+Thin wrapper over the ``fig06_comm_scaling`` spec in
+``repro.experiments.figures.fig06`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig06``.
 """
 
-from helpers import comm_breakdown, emit, us
-
-from repro.analysis.report import format_table
-from repro.models import QWEN3_235B
-from repro.systems import build_multi_wsc, build_wsc
-
-
-def platforms():
-    model = QWEN3_235B
-    return [
-        ("4x4", build_wsc(model, 4, tp=4, mapping="baseline")),
-        ("6x6", build_wsc(model, 6, tp=4, mapping="baseline")),
-        ("8x8", build_wsc(model, 8, tp=4, mapping="baseline")),
-        ("4x(6x6)", build_multi_wsc(model, 4, 6, tp=4, mapping="baseline")),
-        ("4x(8x8)", build_multi_wsc(model, 4, 8, tp=4, mapping="baseline")),
-    ]
-
-
-def build_table():
-    rows = []
-    for name, system in platforms():
-        prefill_ar, prefill_a2a = comm_breakdown(system, tokens_per_group=4096)
-        decode_ar, decode_a2a = comm_breakdown(system, tokens_per_group=256)
-        rows.append(
-            [
-                name,
-                f"{us(prefill_ar):.1f}us",
-                f"{us(prefill_a2a):.1f}us",
-                f"{us(decode_ar):.2f}us",
-                f"{us(decode_a2a):.2f}us",
-                f"{decode_a2a / decode_ar:.1f}x",
-            ]
-        )
-    return format_table(
-        [
-            "Scale",
-            "Prefill AR",
-            "Prefill A2A",
-            "Decode AR",
-            "Decode A2A",
-            "Decode A2A/AR",
-        ],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig06_comm_scaling(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig06_comm_scaling", table)
+    run_and_emit(benchmark, "fig06_comm_scaling")

@@ -1,80 +1,12 @@
-"""Fig. 11: hot/cold link heatmaps of the two phases under ER-Mapping.
+"""Fig. 11, hot/cold link heatmaps of the two phases under ER-Mapping.
 
-Renders ASCII heatmaps of per-link traffic during the attention all-reduce
-and the MoE all-to-all, and reports the complementarity score — the paper's
-observation that every link is cold in at least one phase (exact on 2x2 FTD
-tiles, high elsewhere).
+Thin wrapper over the ``fig11_heatmaps`` spec in
+``repro.experiments.figures.fig11`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig11``.
 """
 
-from helpers import emit
-
-from repro.balancer.heat import classify_links, complementarity
-from repro.mapping.base import ParallelismConfig
-from repro.mapping.er import ERMapping
-from repro.mapping.placement import ExpertPlacement
-from repro.models import QWEN3_235B
-from repro.network.alltoall import simulate_alltoall, uniform_demand
-from repro.topology.mesh import MeshTopology
-
-
-def ascii_heatmap(mesh, link_bytes):
-    """Character map: for each device, mark hot (#) / warm (+) / cold (.)
-    based on the hottest link touching it."""
-    peak = max(link_bytes.values(), default=1.0)
-    lines = []
-    for x in range(mesh.height):
-        cells = []
-        for y in range(mesh.width):
-            device = x * mesh.width + y
-            local_peak = max(
-                (
-                    volume
-                    for (src, dst), volume in link_bytes.items()
-                    if src == device or dst == device
-                ),
-                default=0.0,
-            )
-            ratio = local_peak / peak if peak else 0.0
-            cells.append("#" if ratio > 0.5 else "+" if ratio > 0.05 else ".")
-        lines.append(" ".join(cells))
-    return "\n".join(lines)
-
-
-def analyse(side, tp, tp_shape):
-    mesh = MeshTopology(side, side)
-    mapping = ERMapping(
-        mesh, ParallelismConfig(tp=tp, dp=side * side // tp, tp_shape=tp_shape)
-    )
-    model = QWEN3_235B
-    placement = ExpertPlacement(model.num_experts, mesh.num_devices)
-    allreduce = mapping.simulate_allreduce(256 * model.token_bytes)
-    demand = uniform_demand(
-        mapping.dp, model.num_experts, 256, model.experts_per_token, model.token_bytes
-    )
-    alltoall = simulate_alltoall(
-        mesh, demand, placement.destinations, mapping.token_holders
-    )
-    score = complementarity(
-        classify_links(mesh, allreduce.link_bytes),
-        classify_links(mesh, alltoall.link_bytes),
-    )
-    return (
-        f"--- {side}x{side} WSC, TP={tp} {tp_shape} ---\n"
-        f"attention all-reduce device heat:\n{ascii_heatmap(mesh, allreduce.link_bytes)}\n"
-        f"MoE all-to-all device heat:\n{ascii_heatmap(mesh, alltoall.link_bytes)}\n"
-        f"complementarity (links cold in >= 1 phase): {score:.2f}"
-    )
-
-
-def build_report():
-    blocks = [
-        analyse(4, 4, (2, 2)),
-        analyse(4, 2, (2, 1)),
-        analyse(6, 4, (2, 2)),
-    ]
-    return "\n\n".join(blocks)
+from helpers import run_and_emit
 
 
 def test_fig11_heatmaps(benchmark):
-    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    emit("fig11_heatmaps", report)
+    run_and_emit(benchmark, "fig11_heatmaps")

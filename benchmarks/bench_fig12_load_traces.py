@@ -1,80 +1,12 @@
-"""Fig. 12: expert load traces per scenario — stable after warm-up.
+"""Fig. 12, expert load traces per scenario.
 
-Qwen3-234B with EP = 8 (the paper's setup): device load ratios fluctuate
-early and stabilise once the scenario's popularity profile dominates.  The
-table reports the mean absolute per-iteration drift of the device load
-ratios in the first vs last quarter of the run, per scenario.
+Thin wrapper over the ``fig12_load_traces`` spec in
+``repro.experiments.figures.fig12`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig12``.
 """
 
-import numpy as np
-from helpers import emit
-
-from repro.analysis.load import device_token_loads
-from repro.analysis.report import format_table
-from repro.mapping.placement import ExpertPlacement
-from repro.models import QWEN3_235B
-from repro.workload import CHAT, CODING, MATH, PRIVACY, GatingSimulator
-
-ITERATIONS = 200
-EP = 8
-
-
-def trace_scenario(scenario):
-    model = QWEN3_235B
-    workload = GatingSimulator(
-        model,
-        num_groups=4,
-        tokens_per_group=512,
-        mixer=scenario,
-        num_layers=1,
-        adaptation=0.05,
-        seed=scenario.seed,
-    )
-    placement = ExpertPlacement(model.num_experts, EP)
-    ratios = []
-    for _ in range(ITERATIONS):
-        counts = workload.next_counts()
-        loads = device_token_loads(counts[0].sum(axis=0), placement)
-        ratios.append(loads / loads.sum())
-    ratios = np.asarray(ratios)
-    quarter = ITERATIONS // 4
-    # Stability = distance of the instantaneous ratios from the steady-state
-    # profile (mean of the final quarter): large during warm-up, sampling
-    # noise only once the scenario's popularity dominates.
-    steady = ratios[-quarter:].mean(axis=0)
-    deviation = np.abs(ratios - steady).mean(axis=1)
-    return (
-        float(deviation[:quarter].mean()),
-        float(deviation[-quarter:].mean()),
-        float(ratios[-1].max() * EP),  # peak device load ratio vs uniform
-    )
-
-
-def build_table():
-    rows = []
-    for scenario in (CHAT, CODING, MATH, PRIVACY):
-        early, late, peak = trace_scenario(scenario)
-        rows.append(
-            [
-                scenario.name,
-                f"{early:.5f}",
-                f"{late:.5f}",
-                f"{early / late:.1f}x" if late > 0 else "inf",
-                f"{peak:.2f}",
-            ]
-        )
-    return format_table(
-        [
-            "Scenario",
-            "Warm-up deviation",
-            "Steady deviation",
-            "Stabilisation",
-            "Steady peak/avg load",
-        ],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig12_load_traces(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig12_load_traces", table)
+    run_and_emit(benchmark, "fig12_load_traces")

@@ -1,48 +1,12 @@
-"""Fig. 13a: WSC-over-DGX communication improvement vs token count.
+"""Fig. 13a, WSC-over-DGX communication improvement vs token count.
 
-Qwen3; 6x6 wafer vs 4-node DGX (32 GPUs) and 8x8 wafer vs 8-node DGX
-(64 GPUs), with and without ER-Mapping, sweeping tokens per TP group from
-16 to 32k.  The paper's shape: the advantage grows with token count and
-saturates beyond ~256 tokens, where ER-Mapping extends it further.
+Thin wrapper over the ``fig13a_token_sweep`` spec in
+``repro.experiments.figures.fig13a`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig13a``.
 """
 
-from helpers import comm_breakdown, emit
-
-from repro.analysis.report import format_table
-from repro.models import QWEN3_235B
-from repro.systems import build_dgx, build_wsc
-
-TOKEN_COUNTS = [16, 64, 256, 1024, 4096, 16384, 32768]
-
-
-def build_table():
-    model = QWEN3_235B
-    pairs = [
-        ("6x6 vs 32 GPUs", 6, 4),
-        ("8x8 vs 64 GPUs", 8, 8),
-    ]
-    rows = []
-    for label, side, nodes in pairs:
-        dgx = build_dgx(model, num_nodes=nodes, tp=4)
-        wsc_base = build_wsc(model, side, tp=4, mapping="baseline")
-        wsc_er = build_wsc(model, side, tp=4, mapping="er")
-        for tokens in TOKEN_COUNTS:
-            dgx_total = sum(comm_breakdown(dgx, tokens))
-            base_total = sum(comm_breakdown(wsc_base, tokens))
-            er_total = sum(comm_breakdown(wsc_er, tokens))
-            rows.append(
-                [
-                    label,
-                    tokens,
-                    f"{(1 - base_total / dgx_total) * 100:.0f}%",
-                    f"{(1 - er_total / dgx_total) * 100:.0f}%",
-                ]
-            )
-    return format_table(
-        ["Comparison", "Tokens/group", "WSC vs DGX", "WSC+ER vs DGX"], rows
-    )
+from helpers import run_and_emit
 
 
 def test_fig13a_tokens(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig13a_token_sweep", table)
+    run_and_emit(benchmark, "fig13a_token_sweep")

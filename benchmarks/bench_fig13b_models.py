@@ -1,53 +1,12 @@
-"""Fig. 13b: ER-Mapping across the model zoo.
+"""Fig. 13b, ER-Mapping across the model zoo.
 
-6x6 WSC vs 4-node DGX, 256 tokens per group.  The paper's shape: pure WSC
-beats DGX on communication everywhere (~56% average); ER-Mapping adds up
-to ~35% more, with the benefit scaling with the number of activated
-experts — Mixtral (top-2) gains least and can even regress.
+Thin wrapper over the ``fig13b_models`` spec in
+``repro.experiments.figures.fig13b`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig13b``.
 """
 
-from helpers import comm_breakdown, emit, us
-
-from repro.analysis.report import format_table
-from repro.models import MODEL_REGISTRY
-from repro.systems import build_dgx, build_wsc
-
-
-def build_table():
-    rows = []
-    for model in MODEL_REGISTRY.values():
-        dgx = build_dgx(model, num_nodes=4, tp=4)
-        wsc = build_wsc(model, 6, tp=4, mapping="baseline")
-        er = build_wsc(model, 6, tp=4, mapping="er")
-        dgx_ar, dgx_a2a = comm_breakdown(dgx)
-        wsc_ar, wsc_a2a = comm_breakdown(wsc)
-        er_ar, er_a2a = comm_breakdown(er)
-        dgx_total = dgx_ar + dgx_a2a
-        wsc_total = wsc_ar + wsc_a2a
-        er_total = er_ar + er_a2a
-        rows.append(
-            [
-                model.name,
-                f"{us(dgx_total):.1f}us",
-                f"{us(wsc_total):.1f}us",
-                f"{us(er_total):.1f}us",
-                f"{(1 - wsc_total / dgx_total) * 100:.0f}%",
-                f"{(1 - er_total / wsc_total) * 100:.0f}%",
-            ]
-        )
-    return format_table(
-        [
-            "Model",
-            "DGX comm",
-            "WSC comm",
-            "WSC+ER comm",
-            "WSC vs DGX",
-            "ER vs WSC",
-        ],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig13b_models(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig13b_models", table)
+    run_and_emit(benchmark, "fig13b_models")

@@ -1,42 +1,12 @@
-"""Fig. 13c: ER-Mapping improvement across WSC scales and TP degrees.
+"""Fig. 13c, ER-Mapping improvement across WSC scales and TP degrees.
 
-Qwen3, single wafers.  The paper's shape: ER-Mapping consistently improves
-on the baseline mapping, with a sweet spot where the FTD/entwined-ring
-geometry best balances all-to-all against all-reduce.
+Thin wrapper over the ``fig13c_scales`` spec in
+``repro.experiments.figures.fig13c`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig13c``.
 """
 
-from helpers import comm_breakdown, emit
-
-from repro.analysis.report import format_table
-from repro.models import QWEN3_235B
-from repro.systems import build_wsc
-
-CONFIGS = [
-    (4, [2, 4, 8]),
-    (6, [2, 4, 6, 18]),
-    (8, [2, 4, 8, 16]),
-]
-
-
-def build_table():
-    model = QWEN3_235B
-    rows = []
-    for side, tps in CONFIGS:
-        for tp in tps:
-            baseline = build_wsc(model, side, tp=tp, mapping="baseline")
-            er = build_wsc(model, side, tp=tp, mapping="er")
-            base_total = sum(comm_breakdown(baseline))
-            er_total = sum(comm_breakdown(er))
-            rows.append(
-                [
-                    f"{side}x{side}",
-                    tp,
-                    f"{(1 - er_total / base_total) * 100:.0f}%",
-                ]
-            )
-    return format_table(["WSC", "TP", "ER-Mapping improvement"], rows)
+from helpers import run_and_emit
 
 
 def test_fig13c_scales(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig13c_scales", table)
+    run_and_emit(benchmark, "fig13c_scales")

@@ -1,48 +1,12 @@
-"""Fig. 13d: Hierarchical ER-Mapping on multi-WSC systems.
+"""Fig. 13d, Hierarchical ER-Mapping on multi-WSC systems.
 
-Four-wafer systems at three wafer sizes and several TP degrees: baseline
-mapping vs flat ER vs HER.  The paper's shape: HER achieves consistent
-improvement over the baseline in all cases, unlike pure ER whose benefit
-varies with the configuration.
+Thin wrapper over the ``fig13d_multiwafer`` spec in
+``repro.experiments.figures.fig13d`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig13d``.
 """
 
-from helpers import comm_breakdown, emit
-
-from repro.analysis.report import format_table
-from repro.models import QWEN3_235B
-from repro.systems import build_multi_wsc
-
-CONFIGS = [
-    (4, [4, 8, 16]),
-    (6, [4, 6, 36]),
-    (8, [4, 8, 16]),
-]
-
-
-def build_table():
-    model = QWEN3_235B
-    rows = []
-    for side, tps in CONFIGS:
-        for tp in tps:
-            base = build_multi_wsc(model, 4, side, tp=tp, mapping="baseline")
-            flat = build_multi_wsc(model, 4, side, tp=tp, mapping="er")
-            her = build_multi_wsc(model, 4, side, tp=tp, mapping="her")
-            base_total = sum(comm_breakdown(base, tokens_per_group=64))
-            flat_total = sum(comm_breakdown(flat, tokens_per_group=64))
-            her_total = sum(comm_breakdown(her, tokens_per_group=64))
-            rows.append(
-                [
-                    f"4x({side}x{side})",
-                    tp,
-                    f"{(1 - flat_total / base_total) * 100:.0f}%",
-                    f"{(1 - her_total / base_total) * 100:.0f}%",
-                ]
-            )
-    return format_table(
-        ["System", "TP", "ER vs baseline", "HER vs baseline"], rows
-    )
+from helpers import run_and_emit
 
 
 def test_fig13d_multiwafer(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig13d_multiwafer", table)
+    run_and_emit(benchmark, "fig13d_multiwafer")

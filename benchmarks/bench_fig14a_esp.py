@@ -1,45 +1,12 @@
-"""Fig. 14a: ESP (Expert Sharding Parallelism) for large-expert models.
+"""Fig. 14a, ESP for large-expert models.
 
-DBRX and Mixtral shard each expert across devices.  The paper's shape:
-WSC beats DGX by ~50%; ER-Mapping still helps but the margin is modest
-(~9%) because the EP-group partial-sum all-reduce dominates.
+Thin wrapper over the ``fig14a_esp`` spec in
+``repro.experiments.figures.fig14a`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig14a``.
 """
 
-from helpers import emit, us
-
-from repro.analysis.report import format_table
-from repro.models import DBRX, MIXTRAL_8X22B
-from repro.network.esp import simulate_esp
-from repro.systems import build_dgx, build_wsc
-
-TOKENS = 256
-
-
-def build_table():
-    rows = []
-    for model in (DBRX, MIXTRAL_8X22B):
-        dgx = build_dgx(model, num_nodes=4, tp=4)
-        wsc = build_wsc(model, 6, tp=4, mapping="baseline")
-        er = build_wsc(model, 6, tp=4, mapping="er")
-        dgx_esp = simulate_esp(dgx.mapping, model, TOKENS)
-        wsc_esp = simulate_esp(wsc.mapping, model, TOKENS)
-        er_esp = simulate_esp(er.mapping, model, TOKENS)
-        rows.append(
-            [
-                model.name,
-                f"{us(dgx_esp.duration):.1f}us",
-                f"{us(wsc_esp.duration):.1f}us",
-                f"{us(er_esp.duration):.1f}us",
-                f"{(1 - wsc_esp.duration / dgx_esp.duration) * 100:.0f}%",
-                f"{(1 - er_esp.duration / wsc_esp.duration) * 100:.0f}%",
-            ]
-        )
-    return format_table(
-        ["Model", "DGX ESP", "WSC ESP", "WSC+ER ESP", "WSC vs DGX", "ER vs WSC"],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig14a_esp(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig14a_esp", table)
+    run_and_emit(benchmark, "fig14a_esp")

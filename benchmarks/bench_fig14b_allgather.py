@@ -1,41 +1,12 @@
-"""Fig. 14b: justifying the retention of all-gather.
+"""Fig. 14b, justifying the retention of all-gather.
 
-With AG every FTD holds all tokens, so ER's all-to-all fetches stay inside
-the tile; without AG each shard must come from its owner across the mesh.
-The paper's shape: AG doubles the (cheap) all-reduce but cuts the
-(expensive) all-to-all, improving totals by ~17% on average.
+Thin wrapper over the ``fig14b_allgather`` spec in
+``repro.experiments.figures.fig14b`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig14b``.
 """
 
-from helpers import comm_breakdown, emit, us
-
-from repro.analysis.report import format_table
-from repro.models import DBRX, MIXTRAL_8X22B, QWEN3_235B
-from repro.systems import build_wsc
-
-
-def build_table():
-    rows = []
-    for model in (DBRX, MIXTRAL_8X22B, QWEN3_235B):
-        with_ag = build_wsc(model, 6, tp=4, mapping="er", retain_allgather=True)
-        without_ag = build_wsc(model, 6, tp=4, mapping="er", retain_allgather=False)
-        ag_ar, ag_a2a = comm_breakdown(with_ag)
-        no_ar, no_a2a = comm_breakdown(without_ag)
-        ag_total = ag_ar + ag_a2a
-        no_total = no_ar + no_a2a
-        rows.append(
-            [
-                model.name,
-                f"{us(no_ar):.1f} / {us(ag_ar):.1f}us",
-                f"{us(no_a2a):.1f} / {us(ag_a2a):.1f}us",
-                f"{(1 - ag_total / no_total) * 100:.0f}%",
-            ]
-        )
-    return format_table(
-        ["Model", "AR without/with AG", "A2A without/with AG", "AG improvement"],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig14b_allgather(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig14b_allgather", table)
+    run_and_emit(benchmark, "fig14b_allgather")

@@ -1,87 +1,12 @@
-"""Fig. 15: run-time traces of device loads under each balancing strategy.
+"""Fig. 15, run-time traces of device loads under each balancing strategy.
 
-Qwen3 on an 8x8 wafer with a drifting mixed workload.  The paper's shape:
-no balancing leaves a ~2x peak deviation; greedy balancing halves it but
-interrupts roughly every 10 iterations; topology-aware balancing mitigates
-the interruptions; non-invasive balancing eliminates them while achieving
-the best balance.
+Thin wrapper over the ``fig15_balancer_trace`` spec in
+``repro.experiments.figures.fig15`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig15``.
 """
 
-from helpers import emit
-
-from repro.analysis.report import format_table
-from repro.balancer import (
-    GreedyBalancer,
-    NoBalancer,
-    NonInvasiveBalancer,
-    TopologyAwareBalancer,
-)
-from repro.engine import EngineConfig, ServingConfig, ServingSimulator
-from repro.models import QWEN3_235B
-from repro.systems import build_wsc
-from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
-
-ITERATIONS = 120
-SKIP = 30
-
-STRATEGIES = [
-    ("No balance", NoBalancer),
-    ("Greedy", GreedyBalancer),
-    ("Topology-aware", TopologyAwareBalancer),
-    ("Non-invasive", NonInvasiveBalancer),
-]
-
-
-def run_strategy(balancer_cls):
-    model = QWEN3_235B
-    system = build_wsc(model, side=8, tp=4, mapping="er")
-    workload = GatingSimulator(
-        model,
-        num_groups=system.mapping.dp,
-        tokens_per_group=128,
-        mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=80),
-        num_layers=2,
-        seed=17,
-    )
-    simulator = ServingSimulator(
-        system.device,
-        model,
-        system.mapping,
-        workload,
-        balancer_cls,
-        engine_config=EngineConfig(tokens_per_group=128),
-        serving_config=ServingConfig(num_iterations=ITERATIONS),
-    )
-    return simulator.run()
-
-
-def build_table():
-    rows = []
-    for name, cls in STRATEGIES:
-        trace = run_strategy(cls)
-        rows.append(
-            [
-                name,
-                f"{trace.mean_load_ratio(SKIP):.2f}",
-                trace.num_migrations(),
-                trace.num_interruptions(),
-                f"{trace.migration_overhead_fraction(SKIP) * 100:.1f}%",
-                f"{trace.mean_latency(SKIP) * 1e3:.2f}ms",
-            ]
-        )
-    return format_table(
-        [
-            "Strategy",
-            "Max/Avg load",
-            "Migrations",
-            "Interruptions",
-            "Migration overhead",
-            "Iteration latency",
-        ],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig15_balancer_trace(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("fig15_balancer_trace", table)
+    run_and_emit(benchmark, "fig15_balancer_trace")

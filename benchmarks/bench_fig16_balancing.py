@@ -1,113 +1,16 @@
-"""Fig. 16: balancing impact across scheduling modes and scenarios.
+"""Fig. 16, balancing impact across scheduling modes and scenarios.
 
-Prefill-only / decode-only / hybrid scheduling x Math-only / mixed
-workloads, for Qwen3 and DeepSeek-V3 on an 8x8 wafer.  The paper's shape:
-fixed scenarios stabilise and need few migrations; mixed scenarios trigger
-frequent migrations whose overhead hits decode/hybrid hardest (short
-iterations); topology-aware balancing cuts that overhead (~2.6x) and
-non-invasive balancing removes it while delivering the best load ratio.
+Thin wrapper over the ``fig16_balancing_*`` specs in
+``repro.experiments.figures.fig16`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig16``.
 """
 
-from helpers import emit
-
-from repro.analysis.report import format_table
-from repro.balancer import (
-    GreedyBalancer,
-    NoBalancer,
-    NonInvasiveBalancer,
-    TopologyAwareBalancer,
-)
-from repro.engine import EngineConfig, ServingConfig, ServingSimulator
-from repro.models import DEEPSEEK_V3, QWEN3_235B
-from repro.systems import build_wsc
-from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
-
-ITERATIONS = 60
-SKIP = 20
-
-SCHEDULES = {
-    # (tokens_per_group, context_len, decode)
-    "Prefill-only": (1024, 4096, False),
-    "Decode-only": (64, 4096, True),
-    "Hybrid": (256, 4096, True),
-}
-
-STRATEGIES = [
-    ("None", NoBalancer),
-    ("Greedy", GreedyBalancer),
-    ("Topology", TopologyAwareBalancer),
-    ("Non-invasive", NonInvasiveBalancer),
-]
-
-
-def run_case(model, schedule, mixed, balancer_cls, seed=23):
-    tokens, context, decode = SCHEDULES[schedule]
-    system = build_wsc(model, side=8, tp=4, mapping="er")
-    if mixed:
-        mixer = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
-    else:
-        mixer = MATH
-    workload = GatingSimulator(
-        model,
-        num_groups=system.mapping.dp,
-        tokens_per_group=tokens,
-        mixer=mixer,
-        num_layers=2,
-        seed=seed,
-    )
-    simulator = ServingSimulator(
-        system.device,
-        model,
-        system.mapping,
-        workload,
-        balancer_cls,
-        engine_config=EngineConfig(
-            tokens_per_group=tokens, context_len=context, decode=decode
-        ),
-        serving_config=ServingConfig(num_iterations=ITERATIONS),
-    )
-    return simulator.run()
-
-
-def build_table(model):
-    rows = []
-    for schedule in SCHEDULES:
-        for mixed in (False, True):
-            scenario = "Mixed" if mixed else "Math-only"
-            for name, cls in STRATEGIES:
-                trace = run_case(model, schedule, mixed, cls)
-                rows.append(
-                    [
-                        schedule,
-                        scenario,
-                        name,
-                        f"{trace.mean_component('alltoall', SKIP) * 1e6:.1f}us",
-                        f"{trace.mean_component('moe', SKIP) * 1e6:.1f}us",
-                        f"{trace.migration_overhead_fraction(SKIP) * 100:.1f}%",
-                        f"{trace.mean_load_ratio(SKIP):.2f}",
-                    ]
-                )
-    return format_table(
-        [
-            "Schedule",
-            "Scenario",
-            "Balancer",
-            "All-to-all",
-            "MoE time",
-            "Migration ovh",
-            "Max/Avg",
-        ],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig16_qwen3(benchmark):
-    table = benchmark.pedantic(build_table, args=(QWEN3_235B,), rounds=1, iterations=1)
-    emit("fig16_balancing_qwen3", table)
+    run_and_emit(benchmark, "fig16_balancing_qwen3")
 
 
 def test_fig16_deepseek_v3(benchmark):
-    table = benchmark.pedantic(
-        build_table, args=(DEEPSEEK_V3,), rounds=1, iterations=1
-    )
-    emit("fig16_balancing_deepseek_v3", table)
+    run_and_emit(benchmark, "fig16_balancing_deepseek_v3")

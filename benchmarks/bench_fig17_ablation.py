@@ -1,116 +1,16 @@
-"""Fig. 17: the full ablation — multi-WSC cluster vs NVL72 supernode.
+"""Fig. 17, the full ablation: multi-WSC cluster vs NVL72 supernode.
 
-Eight configurations per model, stacking the paper's mechanisms: NVL72
-(with and without balancing over its NVMe side channel), then the 256-die
-4x(8x8) WSC under baseline mapping, flat ER, HER, and HER plus each
-balancer.  Reported: per-layer all-to-all, MoE time, exposed migration,
-total iteration latency relative to NVL72, and per-device throughput.
-
-The paper's shape: ER then HER remove the communication bottleneck;
-topology-aware balancing cuts migration overhead; non-invasive balancing
-eliminates it; the final system beats NVL72 per-device (paper: ~39%).
+Thin wrapper over the ``fig17_ablation_*`` specs in
+``repro.experiments.figures.fig17`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run fig17``.
 """
 
-from helpers import emit
-
-from repro.analysis.report import format_table
-from repro.balancer import (
-    BalancerConfig,
-    GreedyBalancer,
-    NoBalancer,
-    NonInvasiveBalancer,
-    TopologyAwareBalancer,
-)
-from repro.engine import EngineConfig, ServingConfig, ServingSimulator
-from repro.models import DEEPSEEK_V3, QWEN3_235B
-from repro.systems import build_multi_wsc, build_nvl72
-from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
-
-ITERATIONS = 10
-SKIP = 3
-TOKENS_PER_DEVICE = 64
-
-
-def run_config(model, system, balancer_cls, side_channel=False, seed=29):
-    tokens_per_group = TOKENS_PER_DEVICE * system.num_devices // system.mapping.dp
-    workload = GatingSimulator(
-        model,
-        num_groups=system.mapping.dp,
-        tokens_per_group=tokens_per_group,
-        mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=30),
-        num_layers=1,
-        adaptation=0.3,
-        seed=seed,
-    )
-    simulator = ServingSimulator(
-        system.device,
-        model,
-        system.mapping,
-        workload,
-        balancer_cls,
-        engine_config=EngineConfig(tokens_per_group=tokens_per_group),
-        serving_config=ServingConfig(
-            num_iterations=ITERATIONS,
-            warmup_iters=2,
-            beta_iters=3,
-            shadow_slots=2,
-            migration_side_channel=side_channel,
-        ),
-        # Short runs need larger per-trigger plans to converge the placement.
-        balancer_config=BalancerConfig(max_migrations_per_trigger=16),
-    )
-    return simulator.run()
-
-
-def build_table(model):
-    configs = [
-        ("NVL72", build_nvl72(model, tp=4), NoBalancer, False),
-        ("NVL72 + Balance", build_nvl72(model, tp=4), GreedyBalancer, True),
-        ("WSC", build_multi_wsc(model, 4, 8, tp=4, mapping="baseline"), NoBalancer, False),
-        ("WSC + ER", build_multi_wsc(model, 4, 8, tp=4, mapping="er"), NoBalancer, False),
-        ("WSC + HER", build_multi_wsc(model, 4, 8, tp=4, mapping="her"), NoBalancer, False),
-        ("WSC + HER + Greedy", build_multi_wsc(model, 4, 8, tp=4, mapping="her"), GreedyBalancer, False),
-        ("WSC + HER + Topology", build_multi_wsc(model, 4, 8, tp=4, mapping="her"), TopologyAwareBalancer, False),
-        ("WSC + HER + Non-invasive", build_multi_wsc(model, 4, 8, tp=4, mapping="her"), NonInvasiveBalancer, False),
-    ]
-    rows = []
-    reference = None
-    for name, system, balancer_cls, side_channel in configs:
-        trace = run_config(model, system, balancer_cls, side_channel)
-        per_device_latency = trace.mean_latency(SKIP)
-        throughput = TOKENS_PER_DEVICE * model.num_sparse_layers / per_device_latency
-        if reference is None:
-            reference = per_device_latency
-        rows.append(
-            [
-                name,
-                f"{trace.mean_component('alltoall', SKIP) * 1e6:.1f}us",
-                f"{trace.mean_component('moe', SKIP) * 1e6:.1f}us",
-                f"{trace.migration_overhead_fraction(SKIP) * 100:.1f}%",
-                f"{per_device_latency / reference:.2f}",
-                f"{throughput:.0f} tok/s/dev",
-            ]
-        )
-    return format_table(
-        [
-            "Configuration",
-            "All-to-all/layer",
-            "MoE/layer",
-            "Migration ovh",
-            "Rel. latency",
-            "Per-device perf",
-        ],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_fig17_qwen3(benchmark):
-    table = benchmark.pedantic(build_table, args=(QWEN3_235B,), rounds=1, iterations=1)
-    emit("fig17_ablation_qwen3", table)
+    run_and_emit(benchmark, "fig17_ablation_qwen3")
 
 
 def test_fig17_deepseek_v3(benchmark):
-    table = benchmark.pedantic(
-        build_table, args=(DEEPSEEK_V3,), rounds=1, iterations=1
-    )
-    emit("fig17_ablation_deepseek_v3", table)
+    run_and_emit(benchmark, "fig17_ablation_deepseek_v3")

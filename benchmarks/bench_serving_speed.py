@@ -1,0 +1,13 @@
+"""Serving-loop wall-clock microbenchmark (simulator speed, not model perf).
+
+Thin wrapper over the uncacheable ``serving_speed`` spec in
+``repro.experiments.figures.serving_speed``: 64 devices (8x8 wafer), a
+64-expert Qwen3 variant, 300 serving iterations per balancer.  Run
+standalone with ``python -m repro.experiments run serving_speed``.
+"""
+
+from helpers import run_and_emit
+
+
+def test_serving_speed(benchmark):
+    run_and_emit(benchmark, "serving_speed")

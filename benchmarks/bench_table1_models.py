@@ -1,29 +1,12 @@
-"""Table I: parameters of the evaluation MoE models."""
+"""Table I, parameters of the evaluation MoE models.
 
-from helpers import emit
+Thin wrapper over the ``table1_models`` spec in
+``repro.experiments.figures.table1`` (see its docstring for the paper
+context); run standalone with ``python -m repro.experiments run table1``.
+"""
 
-from repro.analysis.report import format_table
-from repro.models import MODEL_REGISTRY
-
-
-def build_table():
-    rows = []
-    for config in MODEL_REGISTRY.values():
-        rows.append(
-            [
-                config.name,
-                f"{config.total_params_b:.0f}B",
-                f"{config.num_sparse_layers} / {config.num_layers}",
-                f"{config.expert_size_mb:.0f}MB",
-                f"{config.experts_per_token} / {config.num_experts}",
-            ]
-        )
-    return format_table(
-        ["Model", "Size", "Sparse/Total layers", "Expert size", "Active/Total experts"],
-        rows,
-    )
+from helpers import run_and_emit
 
 
 def test_table1(benchmark):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    emit("table1_models", table)
+    run_and_emit(benchmark, "table1_models")

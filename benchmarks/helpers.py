@@ -1,56 +1,34 @@
 """Shared helpers for the figure/table benchmarks.
 
-Every benchmark regenerates one table or figure of the paper: it computes
-the same rows/series, prints them, and writes them to
+Every benchmark regenerates one table or figure of the paper by running
+its registered :class:`~repro.experiments.spec.ExperimentSpec` through the
+shared :class:`~repro.experiments.runner.Runner` — with content-hashed
+result caching under ``benchmarks/results/cache/`` and optional worker
+parallelism (``REPRO_BENCH_JOBS``) — then writing the rendered text to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite measured
 numbers.  Absolute values are simulator-specific; the shapes are the
 reproduction target.
+
+The measurement/render code itself lives in ``repro.experiments.figures``;
+the ``bench_*.py`` files are thin spec-invoking wrappers kept so
+``pytest benchmarks/`` keeps working as before.
 """
 
 import os
 
-import numpy as np
-
-from repro.network.alltoall import simulate_alltoall, uniform_demand
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+from repro.experiments import Runner, get_spec
+from repro.experiments.common import emit
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    banner = f"\n===== {name} =====\n{text}\n"
-    print(banner)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")
-
-
-def comm_breakdown(system, tokens_per_group=256):
-    """(allreduce_s, alltoall_s) for one sparse layer, balanced gating."""
-    model = system.model
-    mapping = system.mapping
-    placement = system.fresh_placement()
-    demand = uniform_demand(
-        mapping.dp,
-        model.num_experts,
-        tokens_per_group,
-        model.experts_per_token,
-        model.token_bytes,
+def run_and_emit(benchmark, spec_name: str, jobs: int | None = None) -> str:
+    """Run one spec through the shared runner and emit its artifact."""
+    spec = get_spec(spec_name)
+    runner = Runner(
+        jobs=jobs or int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        use_cache=os.environ.get("REPRO_BENCH_NO_CACHE", "") == "",
     )
-    allreduce = mapping.simulate_allreduce(tokens_per_group * model.token_bytes)
-    alltoall = simulate_alltoall(
-        system.topology, demand, placement.destinations, mapping.token_holders
+    text = benchmark.pedantic(
+        lambda: runner.run_text(spec), rounds=1, iterations=1
     )
-    return allreduce.duration, alltoall.duration
-
-
-def skewed_loads(model, num_devices, tokens_per_device, seed=0, alpha=2.0):
-    """A fixed skewed expert-load vector shared across platform configs."""
-    rng = np.random.default_rng(seed)
-    popularity = rng.dirichlet(np.full(model.num_experts, alpha))
-    total = tokens_per_device * num_devices * model.experts_per_token
-    return popularity * total
-
-
-def us(seconds: float) -> float:
-    return seconds * 1e6
+    emit(spec_name, text)
+    return text

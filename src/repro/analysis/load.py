@@ -14,15 +14,8 @@ def device_token_loads(
         raise ValueError(
             f"expected {placement.num_experts} expert loads, got {loads.shape}"
         )
-    device_loads = np.zeros(placement.num_devices)
-    for expert in range(placement.num_experts):
-        if loads[expert] <= 0:
-            continue
-        replicas = placement.replicas(expert)
-        share = loads[expert] / len(replicas)
-        for device in replicas:
-            device_loads[device] += share
-    return device_loads
+    shares = np.where(loads > 0, loads, 0.0) / placement.replica_counts
+    return shares @ placement.replica_matrix
 
 
 def load_ratio(device_loads: np.ndarray) -> float:

@@ -99,14 +99,19 @@ class Balancer(ABC):
 
     # -- heat -------------------------------------------------------------------
 
+    def _pending_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """In-flight migrations as parallel (experts, dsts) index arrays."""
+        if not self.pending:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        experts, dsts = zip(*self.pending)
+        return np.asarray(experts, dtype=np.int64), np.asarray(dsts, dtype=np.int64)
+
     def _replica_counts(self, include_pending: bool) -> np.ndarray:
-        counts = np.array(
-            [self.placement.num_replicas(e) for e in range(self.placement.num_experts)],
-            dtype=float,
-        )
-        if include_pending:
-            for expert, _dst in self.pending:
-                counts[expert] += 1
+        counts = self.placement.replica_counts.astype(float)
+        if include_pending and self.pending:
+            experts, _dsts = self._pending_arrays()
+            np.add.at(counts, experts, 1.0)
         return counts
 
     def heats(self, include_pending: bool = True) -> np.ndarray:
@@ -118,14 +123,10 @@ class Balancer(ABC):
             out=np.zeros_like(self.predicted_loads),
             where=num_replicas > 0,
         )
-        heats = np.zeros(self.placement.num_devices)
-        for expert in range(self.placement.num_experts):
-            for device in self.placement.replicas(expert):
-                heats[device] += per_replica[expert]
-            if include_pending:
-                for pending_expert, dst in self.pending:
-                    if pending_expert == expert:
-                        heats[dst] += per_replica[expert]
+        heats = per_replica @ self.placement.replica_matrix
+        if include_pending and self.pending:
+            experts, dsts = self._pending_arrays()
+            np.add.at(heats, dsts, per_replica[experts])
         return heats
 
     def imbalance(self) -> float:
@@ -140,15 +141,10 @@ class Balancer(ABC):
 
     def _free_slots(self) -> np.ndarray:
         """Shadow slots free per device, net of in-flight migrations."""
-        free = np.array(
-            [
-                self.placement.shadow_free(device)
-                for device in range(self.placement.num_devices)
-            ],
-            dtype=int,
-        )
-        for _expert, dst in self.pending:
-            free[dst] -= 1
+        free = self.placement.shadow_slots - self.placement.shadow_counts
+        if self.pending:
+            _experts, dsts = self._pending_arrays()
+            np.subtract.at(free, dsts, 1)
         return free
 
     @abstractmethod
@@ -171,17 +167,17 @@ class Balancer(ABC):
         mean_heat = heats.mean()
         if mean_heat <= 0:
             return 0
+        threshold = self.config.drop_fraction * mean_heat
+        counts = self.placement.replica_counts.astype(float)
         dropped = 0
-        for device in range(self.placement.num_devices):
-            for expert in list(self.placement.experts_on(device)):
-                if expert in self.placement.native_experts_on(device):
-                    continue
-                per_replica = self.predicted_loads[expert] / self.placement.num_replicas(
-                    expert
-                )
-                if per_replica < self.config.drop_fraction * mean_heat:
-                    self.placement.drop_replica(expert, device)
-                    dropped += 1
+        # Only shadow replicas are candidates (at most shadow_slots per
+        # device); counts track drops so later replicas of the same expert
+        # see their share grow as siblings disappear.
+        for device, expert in self.placement.shadow_entries():
+            if self.predicted_loads[expert] / counts[expert] < threshold:
+                self.placement.drop_replica(expert, device)
+                counts[expert] -= 1
+                dropped += 1
         return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

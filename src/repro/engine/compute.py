@@ -92,35 +92,76 @@ class ComputeModel:
         (the Load/Num rule).  Each device streams the weights of every
         expert it activates once, then computes its token share.
         """
+        compute, memory = self._moe_device_arrays(expert_loads, placement)
+        return [
+            RooflineTimes(compute=c, memory=m)
+            for c, m in zip(compute.tolist(), memory.tolist())
+        ]
+
+    def _moe_device_arrays(
+        self, expert_loads: np.ndarray, placement
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(compute, memory) per-device arrays via the replica matrix."""
         loads = np.asarray(expert_loads, dtype=float)
         if loads.shape != (placement.num_experts,):
             raise ValueError(
                 f"expected {placement.num_experts} expert loads, got {loads.shape}"
             )
-        token_flops = self.model.expert_flops_per_token
-        expert_bytes = self.model.expert_bytes
-
-        device_tokens = np.zeros(placement.num_devices)
-        device_active = np.zeros(placement.num_devices, dtype=int)
-        for expert in range(placement.num_experts):
-            if loads[expert] <= 0:
-                continue
-            replicas = placement.replicas(expert)
-            share = loads[expert] / len(replicas)
-            for device in replicas:
-                device_tokens[device] += share
-                device_active[device] += 1
-
-        return [
-            RooflineTimes(
-                compute=device_tokens[d] * token_flops / self.device.int8_ops,
-                memory=device_active[d] * expert_bytes / self.device.hbm_bandwidth,
-            )
-            for d in range(placement.num_devices)
-        ]
+        active = (loads > 0).astype(float)
+        shares = active * loads / placement.replica_counts
+        matrix = placement.replica_matrix
+        device_tokens = shares @ matrix
+        device_active = active @ matrix
+        compute = device_tokens * self.model.expert_flops_per_token / self.device.int8_ops
+        memory = device_active * self.model.expert_bytes / self.device.hbm_bandwidth
+        return compute, memory
 
     def moe_peak_time(self, expert_loads: np.ndarray, placement) -> RooflineTimes:
         """The slowest device's MoE roofline — the layer's critical path."""
-        times = self.moe_device_times(expert_loads, placement)
-        slowest = max(times, key=lambda t: t.total)
-        return slowest
+        compute, memory = self._moe_device_arrays(expert_loads, placement)
+        slowest = int(np.argmax(compute + memory))
+        return RooflineTimes(
+            compute=float(compute[slowest]), memory=float(memory[slowest])
+        )
+
+    def moe_peak_times(
+        self,
+        layer_loads: np.ndarray,
+        placements: list,
+    ) -> list[RooflineTimes]:
+        """Batched :meth:`moe_peak_time` across layers.
+
+        Args:
+            layer_loads: ``(layers, experts)`` token loads, one row per layer.
+            placements: one :class:`ExpertPlacement` per layer (all with the
+                same expert/device counts).
+        """
+        if not placements:
+            return []
+        loads = np.asarray(layer_loads, dtype=float)
+        if loads.ndim != 2 or loads.shape[0] != len(placements):
+            raise ValueError(
+                f"layer_loads shape {loads.shape} does not match "
+                f"{len(placements)} placements"
+            )
+        if loads.shape[1] != placements[0].num_experts:
+            raise ValueError(
+                f"expected {placements[0].num_experts} expert loads per layer, "
+                f"got {loads.shape[1]}"
+            )
+        matrices = np.stack([p.replica_matrix for p in placements])
+        counts = np.stack([p.replica_counts for p in placements])
+        active = (loads > 0).astype(float)
+        shares = active * loads / counts
+        device_tokens = np.einsum("le,led->ld", shares, matrices)
+        device_active = np.einsum("le,led->ld", active, matrices)
+        compute = device_tokens * self.model.expert_flops_per_token / self.device.int8_ops
+        memory = device_active * self.model.expert_bytes / self.device.hbm_bandwidth
+        peak = np.argmax(compute + memory, axis=1)
+        return [
+            RooflineTimes(
+                compute=float(compute[layer, device]),
+                memory=float(memory[layer, device]),
+            )
+            for layer, device in enumerate(peak)
+        ]

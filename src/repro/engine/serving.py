@@ -11,14 +11,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.load import device_token_loads, load_ratio
+from repro.analysis.load import device_token_loads
 from repro.balancer.base import Balancer, BalancerConfig, Migration
 from repro.balancer.migration import PendingMigration, SegmentKind, split_migration
 from repro.engine.iteration import (
     EngineConfig,
     IterationBreakdown,
     IterationSimulator,
-    pipelined_time,
 )
 from repro.hardware.device import DeviceSpec
 from repro.mapping.base import Mapping
@@ -207,7 +206,6 @@ class ServingSimulator:
         return trace
 
     def _step(self) -> IterationRecord:
-        config = self.serving_config
         iteration = self.workload.iteration
         counts = self.workload.next_counts()
         layer_loads = counts.sum(axis=1)
@@ -217,24 +215,27 @@ class ServingSimulator:
 
         exposed, started = self._maybe_rebalance(iteration)
 
-        # Full network + compute simulation on layer 0; per-layer MoE
-        # rooflines for the rest (communication volumes barely differ by
+        # Full network + compute simulation on layer 0; one batched MoE
+        # roofline call for the rest (communication volumes barely differ by
         # layer, so layer-0 collectives price every layer).
         sim = self.simulator.simulate_layer(counts[0], self.balancers[0].placement)
         breakdown = sim.breakdown
 
         layer_totals = [breakdown.attention_phase + breakdown.moe_phase]
-        for layer in range(1, self.workload.num_layers):
-            moe = self.simulator.compute.moe_peak_time(
-                layer_loads[layer], self.balancers[layer].placement
+        if self.workload.num_layers > 1:
+            moe_times = self.simulator.compute.moe_peak_times(
+                layer_loads[1:],
+                [balancer.placement for balancer in self.balancers[1:]],
             )
+            moe_totals = np.array([moe.total for moe in moe_times])
             if self.engine_config.overlap:
-                moe_phase = pipelined_time(
-                    moe.total, breakdown.alltoall, self.engine_config.pipeline_stages
-                )
+                stages = self.engine_config.pipeline_stages
+                longer = np.maximum(moe_totals, breakdown.alltoall)
+                shorter = np.minimum(moe_totals, breakdown.alltoall)
+                moe_phases = longer + shorter / stages
             else:
-                moe_phase = moe.total + breakdown.alltoall
-            layer_totals.append(breakdown.attention_phase + moe_phase)
+                moe_phases = moe_totals + breakdown.alltoall
+            layer_totals.extend(breakdown.attention_phase + moe_phases)
 
         latency = (
             self.model.num_sparse_layers * float(np.mean(layer_totals)) + exposed
@@ -334,12 +335,13 @@ class ServingSimulator:
     # -- stats ----------------------------------------------------------------------
 
     def _device_load_stats(self, layer_loads: np.ndarray) -> tuple[float, float]:
+        # Per-layer matmuls on the placements' zero-copy matrix views; a
+        # stacked einsum would re-copy every (experts, devices) matrix each
+        # iteration even though placements only change on commit/evict.
         max_loads = []
         mean_loads = []
-        for layer, balancer in enumerate(self.balancers):
-            device_loads = device_token_loads(
-                layer_loads[layer], balancer.placement
-            )
+        for balancer, loads in zip(self.balancers, layer_loads):
+            device_loads = device_token_loads(loads, balancer.placement)
             max_loads.append(device_loads.max())
             mean_loads.append(device_loads.mean())
         return float(np.mean(max_loads)), float(np.mean(mean_loads))

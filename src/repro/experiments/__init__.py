@@ -1,0 +1,41 @@
+"""Unified experiment orchestration: specs, runner, cache, CLI.
+
+Every figure/table benchmark declares an :class:`ExperimentSpec` (a named
+parameter grid plus a point-measurement function) under
+``repro.experiments.figures``; the :class:`Runner` executes grids serially
+or across a multiprocessing pool with content-hashed on-disk caching, and
+``python -m repro.experiments run <figure>`` regenerates any artifact from
+the command line.  The ``benchmarks/bench_*.py`` scripts are thin wrappers
+over the same specs.
+"""
+
+from repro.experiments.cache import (
+    ResultCache,
+    default_cache_dir,
+    default_results_dir,
+)
+from repro.experiments.registry import (
+    all_specs,
+    find_specs,
+    get_spec,
+    load_builtin_specs,
+    register,
+)
+from repro.experiments.result import ExperimentResult, RunResult
+from repro.experiments.runner import Runner
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "RunResult",
+    "Runner",
+    "ResultCache",
+    "default_cache_dir",
+    "default_results_dir",
+    "register",
+    "get_spec",
+    "find_specs",
+    "all_specs",
+    "load_builtin_specs",
+]

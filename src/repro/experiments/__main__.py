@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` dispatch."""
+
+from repro.experiments.cli import main
+
+raise SystemExit(main())

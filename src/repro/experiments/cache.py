@@ -1,0 +1,124 @@
+"""Content-hashed on-disk result cache.
+
+Each grid point maps to ``<cache_dir>/<sha256>.json`` where the hash covers
+the spec name and version, the *source code* of the point function's module,
+and the JSON-normalized parameters — so editing a figure module (its point
+function or the constants it reads) invalidates that figure's entries,
+while re-runs of an unchanged sweep are free.  Edits to the simulator
+libraries underneath are not hashed; run ``clear-cache`` after those.
+"""
+
+import hashlib
+import inspect
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.result import RunResult
+from repro.experiments.spec import ExperimentSpec
+
+
+def repo_root() -> Path:
+    """The checkout root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_results_dir() -> Path:
+    """``benchmarks/results/`` (override with ``REPRO_RESULTS_DIR``).
+
+    Falls back to the working directory when the package is installed
+    outside a source checkout (no ``benchmarks/`` beside ``src/``).
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        return Path(override)
+    root = repo_root()
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "results"
+    return Path.cwd() / "benchmarks" / "results"
+
+
+def default_cache_dir() -> Path:
+    return default_results_dir() / "cache"
+
+
+def source_fingerprint(fn) -> str:
+    """Hash of the point function's *module* source plus its qualname.
+
+    Hashing the whole module (not just the function body) means edits to
+    module-level constants the point reads — iteration counts, config
+    tables, grid case lists — invalidate that figure's entries too.  The
+    qualname disambiguates multiple point functions sharing one module.
+    Simulator modules imported by the figure are still outside the hash;
+    clear the cache after editing those.
+    """
+    payload = None
+    module = inspect.getmodule(fn)
+    if module is not None:
+        try:
+            payload = inspect.getsource(module)
+        except (OSError, TypeError):
+            payload = None
+    if payload is None:
+        try:
+            payload = inspect.getsource(fn)
+        except (OSError, TypeError):
+            payload = ""
+    payload += f"\n@{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', '?')}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """JSON-file cache keyed by content hash of (spec, point source, params)."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def key(self, spec: ExperimentSpec, params: dict) -> str:
+        payload = json.dumps(
+            {
+                "spec": spec.name,
+                "version": spec.version,
+                "point": source_fingerprint(spec.point),
+                "params": params,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path(self, spec: ExperimentSpec, params: dict) -> Path:
+        return self.root / f"{self.key(spec, params)}.json"
+
+    def get(self, spec: ExperimentSpec, params: dict) -> RunResult | None:
+        path = self.path(spec, params)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            stored = RunResult.from_json(text)
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return None  # corrupt entry: treat as a miss, it will be rewritten
+        return RunResult(
+            spec=stored.spec,
+            params=stored.params,
+            metrics=stored.metrics,
+            duration_s=stored.duration_s,
+            cached=True,
+        )
+
+    def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec, result.params)
+        path.write_text(result.to_json())
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,53 @@
+"""Shared measurement helpers and artifact output for experiment specs.
+
+These used to live in ``benchmarks/helpers.py``; they moved into the
+package so figure specs (and their worker processes) can import them
+without path tricks.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.cache import default_results_dir
+from repro.network.alltoall import simulate_alltoall, uniform_demand
+
+
+def emit(name: str, text: str, results_dir=None) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    directory = default_results_dir() if results_dir is None else Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (directory / f"{name}.txt").write_text(text + "\n")
+
+
+def comm_breakdown(system, tokens_per_group=256):
+    """(allreduce_s, alltoall_s) for one sparse layer, balanced gating."""
+    model = system.model
+    mapping = system.mapping
+    placement = system.fresh_placement()
+    demand = uniform_demand(
+        mapping.dp,
+        model.num_experts,
+        tokens_per_group,
+        model.experts_per_token,
+        model.token_bytes,
+    )
+    allreduce = mapping.simulate_allreduce(tokens_per_group * model.token_bytes)
+    alltoall = simulate_alltoall(
+        system.topology, demand, placement.destinations, mapping.token_holders
+    )
+    return allreduce.duration, alltoall.duration
+
+
+def skewed_loads(model, num_devices, tokens_per_device, seed=0, alpha=2.0):
+    """A fixed skewed expert-load vector shared across platform configs."""
+    rng = np.random.default_rng(seed)
+    popularity = rng.dirichlet(np.full(model.num_experts, alpha))
+    total = tokens_per_device * num_devices * model.experts_per_token
+    return popularity * total
+
+
+def us(seconds: float) -> float:
+    return seconds * 1e6

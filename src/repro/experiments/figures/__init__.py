@@ -1,0 +1,21 @@
+"""Bundled figure/table specs — importing this package registers them all."""
+
+from repro.experiments.figures import (  # noqa: F401
+    fig01,
+    fig04,
+    fig06,
+    fig11,
+    fig12,
+    fig13a,
+    fig13b,
+    fig13c,
+    fig13d,
+    fig14a,
+    fig14b,
+    fig15,
+    fig16,
+    fig17,
+    serving_speed,
+    smoke,
+    table1,
+)

@@ -1,0 +1,87 @@
+"""Fig. 1a: per-device MoE latency breakdown across cluster classes.
+
+DeepSeek-V3 decode with EP equal to the device count of each platform:
+DGX (E/D = 256/32), NVL72 (256/72), WSC 4x(8x8) (256/256) without and with
+MoEntwine.  Total latency is the max of computation and communication (the
+phases overlap); the bars show how the all-to-all share shrinks and
+computation dominates once MoEntwine removes the communication bottleneck.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.engine.compute import ComputeModel
+from repro.experiments.common import comm_breakdown, us
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import DEEPSEEK_V3
+from repro.systems import build_dgx, build_multi_wsc, build_nvl72
+
+TOKENS_PER_DEVICE = 64
+
+_PLATFORMS = {
+    "dgx4": (
+        "DGX 4-node (E/D=256/32)",
+        lambda model: build_dgx(model, num_nodes=4, tp=4),
+    ),
+    "nvl72": ("NVL72 (E/D=256/72)", lambda model: build_nvl72(model, tp=4)),
+    "wsc_baseline": (
+        "WSC 4x(8x8) baseline (E/D=256/256)",
+        lambda model: build_multi_wsc(model, 4, 8, tp=4, mapping="baseline"),
+    ),
+    "wsc_her": (
+        "WSC 4x(8x8) + MoEntwine (E/D=256/256)",
+        lambda model: build_multi_wsc(model, 4, 8, tp=4, mapping="her"),
+    ),
+}
+
+
+def run_point(params: dict) -> dict:
+    _label, build = _PLATFORMS[params["platform"]]
+    system = build(DEEPSEEK_V3)
+    model = system.model
+    tokens_per_group = (
+        TOKENS_PER_DEVICE * system.num_devices // system.mapping.dp
+    )
+    _, alltoall = comm_breakdown(system, tokens_per_group=tokens_per_group)
+    loads = np.full(
+        model.num_experts,
+        TOKENS_PER_DEVICE * system.num_devices * model.experts_per_token
+        / model.num_experts,
+    )
+    moe = ComputeModel(system.device, model).moe_peak_time(
+        loads, system.fresh_placement()
+    )
+    total = max(moe.total, alltoall)
+    return {"alltoall": alltoall, "moe": moe.total, "total": total}
+
+
+def render(results) -> str:
+    rows = []
+    for result in results:
+        label, _build = _PLATFORMS[result.params["platform"]]
+        m = result.metrics
+        rows.append(
+            [
+                label,
+                f"{us(m['alltoall']):.1f}us",
+                f"{us(m['moe']):.1f}us",
+                f"{us(m['total']):.1f}us",
+                f"{m['alltoall'] / m['total']:.2f}",
+            ]
+        )
+    return format_table(
+        ["Platform", "All-to-all", "MoE compute", "Total (max)", "A2A share"], rows
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig01_breakdown",
+        figure="fig01",
+        description="Per-device MoE latency breakdown across cluster classes",
+        grid={"platform": list(_PLATFORMS)},
+        point=run_point,
+        render=render,
+    )
+)

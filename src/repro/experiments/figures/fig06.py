@@ -1,0 +1,76 @@
+"""Fig. 6: all-reduce vs all-to-all latency as the WSC scales.
+
+Single wafers 4x4 / 6x6 / 8x8 and multi-wafer 4x(6x6) / 4x(8x8) under the
+baseline mapping, in a prefill regime (4096 tokens per group, link latency
+negligible) and a decode regime (256 tokens per group).  The paper's shape:
+all-reduce stays near-flat while all-to-all surges with scale.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import comm_breakdown, us
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import QWEN3_235B
+from repro.systems import build_multi_wsc, build_wsc
+
+SCALES = ["4x4", "6x6", "8x8", "4x(6x6)", "4x(8x8)"]
+
+
+def _build(scale: str):
+    model = QWEN3_235B
+    if scale.startswith("4x("):
+        side = int(scale[3])
+        return build_multi_wsc(model, 4, side, tp=4, mapping="baseline")
+    side = int(scale.split("x")[0])
+    return build_wsc(model, side, tp=4, mapping="baseline")
+
+
+def run_point(params: dict) -> dict:
+    system = _build(params["scale"])
+    prefill_ar, prefill_a2a = comm_breakdown(system, tokens_per_group=4096)
+    decode_ar, decode_a2a = comm_breakdown(system, tokens_per_group=256)
+    return {
+        "prefill_ar": prefill_ar,
+        "prefill_a2a": prefill_a2a,
+        "decode_ar": decode_ar,
+        "decode_a2a": decode_a2a,
+    }
+
+
+def render(results) -> str:
+    rows = []
+    for result in results:
+        m = result.metrics
+        rows.append(
+            [
+                result.params["scale"],
+                f"{us(m['prefill_ar']):.1f}us",
+                f"{us(m['prefill_a2a']):.1f}us",
+                f"{us(m['decode_ar']):.2f}us",
+                f"{us(m['decode_a2a']):.2f}us",
+                f"{m['decode_a2a'] / m['decode_ar']:.1f}x",
+            ]
+        )
+    return format_table(
+        [
+            "Scale",
+            "Prefill AR",
+            "Prefill A2A",
+            "Decode AR",
+            "Decode A2A",
+            "Decode A2A/AR",
+        ],
+        rows,
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig06_comm_scaling",
+        figure="fig06",
+        description="All-reduce vs all-to-all latency across WSC scales",
+        grid={"scale": SCALES},
+        point=run_point,
+        render=render,
+    )
+)

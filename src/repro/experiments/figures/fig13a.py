@@ -1,0 +1,64 @@
+"""Fig. 13a: WSC-over-DGX communication improvement vs token count.
+
+Qwen3; 6x6 wafer vs 4-node DGX (32 GPUs) and 8x8 wafer vs 8-node DGX
+(64 GPUs), with and without ER-Mapping, sweeping tokens per TP group from
+16 to 32k.  The paper's shape: the advantage grows with token count and
+saturates beyond ~256 tokens, where ER-Mapping extends it further.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import comm_breakdown
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import QWEN3_235B
+from repro.systems import build_dgx, build_wsc
+
+TOKEN_COUNTS = [16, 64, 256, 1024, 4096, 16384, 32768]
+
+_PAIRS = {
+    "6x6 vs 32 GPUs": (6, 4),
+    "8x8 vs 64 GPUs": (8, 8),
+}
+
+
+def run_point(params: dict) -> dict:
+    side, nodes = _PAIRS[params["pair"]]
+    tokens = params["tokens"]
+    model = QWEN3_235B
+    dgx = build_dgx(model, num_nodes=nodes, tp=4)
+    wsc_base = build_wsc(model, side, tp=4, mapping="baseline")
+    wsc_er = build_wsc(model, side, tp=4, mapping="er")
+    return {
+        "dgx_total": sum(comm_breakdown(dgx, tokens)),
+        "base_total": sum(comm_breakdown(wsc_base, tokens)),
+        "er_total": sum(comm_breakdown(wsc_er, tokens)),
+    }
+
+
+def render(results) -> str:
+    rows = []
+    for result in results:
+        m = result.metrics
+        rows.append(
+            [
+                result.params["pair"],
+                result.params["tokens"],
+                f"{(1 - m['base_total'] / m['dgx_total']) * 100:.0f}%",
+                f"{(1 - m['er_total'] / m['dgx_total']) * 100:.0f}%",
+            ]
+        )
+    return format_table(
+        ["Comparison", "Tokens/group", "WSC vs DGX", "WSC+ER vs DGX"], rows
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig13a_token_sweep",
+        figure="fig13a",
+        description="WSC-over-DGX communication improvement vs token count",
+        grid={"pair": list(_PAIRS), "tokens": TOKEN_COUNTS},
+        point=run_point,
+        render=render,
+    )
+)

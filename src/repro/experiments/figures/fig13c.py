@@ -1,0 +1,58 @@
+"""Fig. 13c: ER-Mapping improvement across WSC scales and TP degrees.
+
+Qwen3, single wafers.  The paper's shape: ER-Mapping consistently improves
+on the baseline mapping, with a sweet spot where the FTD/entwined-ring
+geometry best balances all-to-all against all-reduce.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import comm_breakdown
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import QWEN3_235B
+from repro.systems import build_wsc
+
+#: (side, tp) pairs as one composite axis — the TP list differs per side.
+CASES = [
+    [side, tp]
+    for side, tps in [(4, [2, 4, 8]), (6, [2, 4, 6, 18]), (8, [2, 4, 8, 16])]
+    for tp in tps
+]
+
+
+def run_point(params: dict) -> dict:
+    side, tp = params["case"]
+    model = QWEN3_235B
+    baseline = build_wsc(model, side, tp=tp, mapping="baseline")
+    er = build_wsc(model, side, tp=tp, mapping="er")
+    return {
+        "base_total": sum(comm_breakdown(baseline)),
+        "er_total": sum(comm_breakdown(er)),
+    }
+
+
+def render(results) -> str:
+    rows = []
+    for result in results:
+        side, tp = result.params["case"]
+        m = result.metrics
+        rows.append(
+            [
+                f"{side}x{side}",
+                tp,
+                f"{(1 - m['er_total'] / m['base_total']) * 100:.0f}%",
+            ]
+        )
+    return format_table(["WSC", "TP", "ER-Mapping improvement"], rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig13c_scales",
+        figure="fig13c",
+        description="ER-Mapping improvement across WSC scales and TP degrees",
+        grid={"case": CASES},
+        point=run_point,
+        render=render,
+    )
+)

@@ -1,0 +1,64 @@
+"""Fig. 13d: Hierarchical ER-Mapping on multi-WSC systems.
+
+Four-wafer systems at three wafer sizes and several TP degrees: baseline
+mapping vs flat ER vs HER.  The paper's shape: HER achieves consistent
+improvement over the baseline in all cases, unlike pure ER whose benefit
+varies with the configuration.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.common import comm_breakdown
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import QWEN3_235B
+from repro.systems import build_multi_wsc
+
+#: (side, tp) pairs as one composite axis — the TP list differs per side.
+CASES = [
+    [side, tp]
+    for side, tps in [(4, [4, 8, 16]), (6, [4, 6, 36]), (8, [4, 8, 16])]
+    for tp in tps
+]
+
+
+def run_point(params: dict) -> dict:
+    side, tp = params["case"]
+    model = QWEN3_235B
+    base = build_multi_wsc(model, 4, side, tp=tp, mapping="baseline")
+    flat = build_multi_wsc(model, 4, side, tp=tp, mapping="er")
+    her = build_multi_wsc(model, 4, side, tp=tp, mapping="her")
+    return {
+        "base_total": sum(comm_breakdown(base, tokens_per_group=64)),
+        "flat_total": sum(comm_breakdown(flat, tokens_per_group=64)),
+        "her_total": sum(comm_breakdown(her, tokens_per_group=64)),
+    }
+
+
+def render(results) -> str:
+    rows = []
+    for result in results:
+        side, tp = result.params["case"]
+        m = result.metrics
+        rows.append(
+            [
+                f"4x({side}x{side})",
+                tp,
+                f"{(1 - m['flat_total'] / m['base_total']) * 100:.0f}%",
+                f"{(1 - m['her_total'] / m['base_total']) * 100:.0f}%",
+            ]
+        )
+    return format_table(
+        ["System", "TP", "ER vs baseline", "HER vs baseline"], rows
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig13d_multiwafer",
+        figure="fig13d",
+        description="Hierarchical ER-Mapping on multi-WSC systems",
+        grid={"case": CASES},
+        point=run_point,
+        render=render,
+    )
+)

@@ -1,0 +1,104 @@
+"""Serving-loop wall-clock microbenchmark (simulator speed, not model perf).
+
+Times the full ``ServingSimulator`` loop — gating, balancing, migration
+draining, batched MoE rooflines, device-load stats — on a 64-device 8x8
+wafer serving a 64-expert Qwen3 variant for 300 iterations.  This is the
+hot path the vectorized placement/balancer/compute layers accelerate; the
+spec is uncacheable because its metrics are wall-clock timings.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.experiments.figures.shared import strategy_class, strategy_label
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import QWEN3_235B
+from repro.systems import build_wsc
+from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
+
+ITERATIONS = 300
+SIDE = 8  # 64 devices
+NUM_EXPERTS = 64
+
+
+def run_point(params: dict) -> dict:
+    model = replace(
+        QWEN3_235B, name=f"qwen3-{params['num_experts']}e",
+        num_experts=params["num_experts"],
+    )
+    system = build_wsc(model, side=SIDE, tp=4, mapping="er")
+    workload = GatingSimulator(
+        model,
+        num_groups=system.mapping.dp,
+        tokens_per_group=128,
+        mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=60),
+        num_layers=2,
+        seed=41,
+    )
+    simulator = ServingSimulator(
+        system.device,
+        model,
+        system.mapping,
+        workload,
+        strategy_class(params["strategy"]),
+        engine_config=EngineConfig(tokens_per_group=128),
+        serving_config=ServingConfig(num_iterations=params["iterations"]),
+    )
+    start = time.perf_counter()
+    trace = simulator.run()
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "iters_per_s": params["iterations"] / wall,
+        "load_ratio": trace.mean_load_ratio(50),
+        "migrations": trace.num_migrations(),
+    }
+
+
+def render(results) -> str:
+    rows = []
+    for result in results:
+        m = result.metrics
+        rows.append(
+            [
+                strategy_label(result.params["strategy"]),
+                result.params["num_experts"],
+                result.params["iterations"],
+                f"{m['wall_s']:.2f}s",
+                f"{m['iters_per_s']:.1f} it/s",
+                f"{m['load_ratio']:.2f}",
+                m["migrations"],
+            ]
+        )
+    return format_table(
+        [
+            "Balancer",
+            "Experts",
+            "Iterations",
+            "Wall clock",
+            "Throughput",
+            "Max/Avg",
+            "Migrations",
+        ],
+        rows,
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="serving_speed",
+        figure="serving_speed",
+        description="Wall-clock microbenchmark of the serving simulator loop",
+        grid={
+            "num_experts": [NUM_EXPERTS],
+            "iterations": [ITERATIONS],
+            "strategy": ["greedy", "non_invasive"],
+        },
+        point=run_point,
+        render=render,
+        cacheable=False,
+    )
+)

@@ -1,0 +1,29 @@
+"""Lookup tables shared by the figure specs.
+
+Grid points must be JSON-serializable, so specs reference balancers and
+models by short string keys and resolve them here inside the point
+functions (which also keeps the resolution inside worker processes).
+"""
+
+from repro.balancer import (
+    GreedyBalancer,
+    NoBalancer,
+    NonInvasiveBalancer,
+    TopologyAwareBalancer,
+)
+
+#: key -> (display label, balancer class), in the paper's comparison order.
+STRATEGIES = {
+    "none": ("No balance", NoBalancer),
+    "greedy": ("Greedy", GreedyBalancer),
+    "topology": ("Topology-aware", TopologyAwareBalancer),
+    "non_invasive": ("Non-invasive", NonInvasiveBalancer),
+}
+
+
+def strategy_label(key: str) -> str:
+    return STRATEGIES[key][0]
+
+
+def strategy_class(key: str):
+    return STRATEGIES[key][1]

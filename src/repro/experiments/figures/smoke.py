@@ -1,0 +1,33 @@
+"""A deliberately tiny spec exercising the runner end-to-end.
+
+Used by unit tests (serial vs pool equivalence) and the CI smoke job; the
+point function is pure arithmetic so a full run costs milliseconds.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+
+
+def run_point(params: dict) -> dict:
+    return {"product": params["x"] * params["y"], "sum": params["x"] + params["y"]}
+
+
+def render(results) -> str:
+    rows = [
+        [r.params["x"], r.params["y"], r.metrics["product"], r.metrics["sum"]]
+        for r in results
+    ]
+    return format_table(["x", "y", "x*y", "x+y"], rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="smoke",
+        figure="smoke",
+        description="Tiny arithmetic grid exercising the runner",
+        grid={"x": [1, 2, 3], "y": [10, 20]},
+        point=run_point,
+        render=render,
+    )
+)

@@ -1,0 +1,46 @@
+"""Table I: parameters of the evaluation MoE models."""
+
+from repro.analysis.report import format_table
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.models import get_model, list_models
+
+
+def run_point(params: dict) -> dict:
+    config = get_model(params["model"])
+    return {
+        "name": config.name,
+        "size": f"{config.total_params_b:.0f}B",
+        "layers": f"{config.num_sparse_layers} / {config.num_layers}",
+        "expert_size": f"{config.expert_size_mb:.0f}MB",
+        "experts": f"{config.experts_per_token} / {config.num_experts}",
+    }
+
+
+def render(results) -> str:
+    rows = [
+        [
+            r.metrics["name"],
+            r.metrics["size"],
+            r.metrics["layers"],
+            r.metrics["expert_size"],
+            r.metrics["experts"],
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["Model", "Size", "Sparse/Total layers", "Expert size", "Active/Total experts"],
+        rows,
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="table1_models",
+        figure="table1",
+        description="Table I model zoo parameters",
+        grid={"model": list_models()},
+        point=run_point,
+        render=render,
+    )
+)

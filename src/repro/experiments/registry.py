@@ -1,0 +1,59 @@
+"""Spec registry: figure modules register, the CLI and benchmarks look up."""
+
+import importlib
+
+from repro.experiments.spec import ExperimentSpec
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry (idempotent for the identical object)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ValueError(f"duplicate experiment spec {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def load_builtin_specs() -> None:
+    """Import the bundled figure modules, registering their specs."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    importlib.import_module("repro.experiments.figures")
+    _BUILTINS_LOADED = True
+
+
+def all_specs() -> list[ExperimentSpec]:
+    load_builtin_specs()
+    return list(_REGISTRY.values())
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    load_builtin_specs()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment spec {name!r}; known: {known}") from None
+
+
+def find_specs(token: str) -> list[ExperimentSpec]:
+    """Specs matching ``token``: exact name, figure group, or name prefix."""
+    load_builtin_specs()
+    if token in _REGISTRY:
+        return [_REGISTRY[token]]
+    by_figure = [spec for spec in _REGISTRY.values() if spec.figure == token]
+    if by_figure:
+        return by_figure
+    by_prefix = [
+        spec for spec in _REGISTRY.values() if spec.name.startswith(token)
+    ]
+    if by_prefix:
+        return by_prefix
+    known = sorted({spec.figure for spec in _REGISTRY.values()})
+    raise KeyError(
+        f"no experiment spec matches {token!r}; known figures: {', '.join(known)}"
+    )

@@ -1,0 +1,90 @@
+"""Structured experiment results with JSON serialization.
+
+A :class:`RunResult` is the outcome of evaluating one grid point of an
+:class:`~repro.experiments.spec.ExperimentSpec`; an
+:class:`ExperimentResult` collects every point of one spec run, in grid
+order.  Both round-trip through JSON, which is also the on-disk cache
+format.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One evaluated grid point.
+
+    Attributes:
+        spec: name of the spec this point belongs to.
+        params: the grid-point parameters (JSON-serializable).
+        metrics: raw measured values keyed by metric name — numbers or
+            strings only, so results serialize and render anywhere.
+        duration_s: wall-clock seconds the point function took.
+        cached: whether this result was served from the on-disk cache.
+    """
+
+    spec: str
+    params: dict
+    metrics: dict
+    duration_s: float = 0.0
+    cached: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        data = json.loads(text)
+        return cls(
+            spec=data["spec"],
+            params=data["params"],
+            metrics=data["metrics"],
+            duration_s=data.get("duration_s", 0.0),
+            cached=data.get("cached", False),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """All grid points of one spec run, in grid-expansion order."""
+
+    spec: str
+    results: list[RunResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.results if result.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.results) - self.cache_hits
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "spec": self.spec,
+                "wall_time_s": self.wall_time_s,
+                "results": [asdict(result) for result in self.results],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        data = json.loads(text)
+        return cls(
+            spec=data["spec"],
+            results=[
+                RunResult(
+                    spec=entry["spec"],
+                    params=entry["params"],
+                    metrics=entry["metrics"],
+                    duration_s=entry.get("duration_s", 0.0),
+                    cached=entry.get("cached", False),
+                )
+                for entry in data["results"]
+            ],
+            wall_time_s=data.get("wall_time_s", 0.0),
+        )

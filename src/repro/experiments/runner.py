@@ -1,0 +1,98 @@
+"""Experiment execution: serial or multiprocessing, cache-aware.
+
+The runner expands a spec's grid, serves cached points from disk, and
+evaluates the rest — optionally across a worker pool.  Results always come
+back in grid order regardless of scheduling, so rendered tables are
+deterministic.
+"""
+
+import multiprocessing
+import time
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.result import ExperimentResult, RunResult
+from repro.experiments.spec import ExperimentSpec
+
+
+def _execute_point(item: tuple) -> RunResult:
+    """Evaluate one grid point (top-level so worker processes can import it)."""
+    spec_name, point, params = item
+    start = time.perf_counter()
+    metrics = point(params)
+    duration = time.perf_counter() - start
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"{spec_name}: point function must return a metrics dict, "
+            f"got {type(metrics).__name__}"
+        )
+    return RunResult(
+        spec=spec_name, params=params, metrics=metrics, duration_s=duration
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imports); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class Runner:
+    """Runs :class:`ExperimentSpec` grids with caching and a worker pool.
+
+    Args:
+        jobs: worker processes for uncached points (1 = serial, in-process).
+        use_cache: serve and store results under ``cache_dir``.
+        cache_dir: override the on-disk cache location
+            (default ``benchmarks/results/cache/``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache_dir=None,
+    ) -> None:
+        if jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.cache = ResultCache(cache_dir)
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        start = time.perf_counter()
+        points = spec.expand()
+        results: list[RunResult | None] = [None] * len(points)
+
+        caching = self.use_cache and spec.cacheable
+        todo: list[int] = []
+        for index, params in enumerate(points):
+            hit = self.cache.get(spec, params) if caching else None
+            if hit is not None:
+                results[index] = hit
+            else:
+                todo.append(index)
+
+        if todo:
+            items = [(spec.name, spec.point, points[index]) for index in todo]
+            if self.jobs > 1 and len(todo) > 1:
+                processes = min(self.jobs, len(todo))
+                with _pool_context().Pool(processes=processes) as pool:
+                    fresh = pool.map(_execute_point, items)
+            else:
+                fresh = [_execute_point(item) for item in items]
+            for index, result in zip(todo, fresh):
+                results[index] = result
+                if caching:
+                    self.cache.put(spec, result)
+
+        return ExperimentResult(
+            spec=spec.name,
+            results=results,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def run_text(self, spec: ExperimentSpec) -> str:
+        """Run the spec and render its artifact text."""
+        return spec.render_text(self.run(spec).results)

@@ -1,0 +1,86 @@
+"""Experiment specifications: named parameter grids over a point function.
+
+A spec declares *what* to run — a cartesian grid of JSON-serializable
+parameters and a module-level ``point`` function evaluating one grid point
+to a dict of metrics — and *how* to present it (a ``render`` function
+turning the results into the figure/table text).  Execution, parallelism
+and caching live in :class:`~repro.experiments.runner.Runner`.
+
+Non-product grids (e.g. per-wafer-size TP lists) are expressed with a
+single composite axis whose values are lists, which JSON handles fine.
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.result import RunResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, cacheable parameter sweep.
+
+    Attributes:
+        name: unique spec name; one emitted artifact per spec
+            (``benchmarks/results/<name>.txt``).
+        figure: grouping key (``fig16``, ``table1``, ...) so the CLI can run
+            every spec of a figure at once.
+        description: one-line summary shown by ``list``.
+        grid: axis name -> list of JSON-serializable values.  Points expand
+            as the cartesian product in declared axis order, so table rows
+            keep the original benchmark ordering.
+        point: module-level callable ``params -> metrics`` (must be
+            importable so worker processes can unpickle it by reference).
+        render: callable ``list[RunResult] -> str`` producing the artifact
+            text; defaults to a JSON dump of the metrics.
+        version: bump to invalidate cached results when semantics change
+            outside the point function's own source.
+        cacheable: disable for timing-sensitive specs whose metrics are not
+            reproducible (e.g. wall-clock microbenchmarks).
+    """
+
+    name: str
+    figure: str
+    description: str
+    grid: dict[str, list]
+    point: Callable[[dict], dict]
+    render: Callable[[list[RunResult]], str] | None = None
+    version: int = 1
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec name must be non-empty")
+        if not self.grid:
+            raise ValueError(f"{self.name}: grid must declare at least one axis")
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ValueError(
+                    f"{self.name}: axis {axis!r} must be a non-empty list"
+                )
+
+    @property
+    def num_points(self) -> int:
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+    def expand(self) -> list[dict]:
+        """All grid points, cartesian product in declared axis order."""
+        axes = list(self.grid)
+        return [
+            dict(zip(axes, combo))
+            for combo in itertools.product(*(self.grid[axis] for axis in axes))
+        ]
+
+    def render_text(self, results: list[RunResult]) -> str:
+        if self.render is not None:
+            return self.render(results)
+        import json
+
+        return "\n".join(
+            json.dumps({"params": r.params, "metrics": r.metrics}, sort_keys=True)
+            for r in results
+        )

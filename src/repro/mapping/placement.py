@@ -9,9 +9,18 @@ Algorithm 1.
 
 import copy
 
+import numpy as np
+
 
 class ExpertPlacement:
-    """Mutable expert -> device assignment with bounded shadow capacity."""
+    """Mutable expert -> device assignment with bounded shadow capacity.
+
+    Alongside the per-expert replica lists, the placement incrementally
+    maintains a dense ``(num_experts, num_devices)`` replica matrix and the
+    per-expert replica counts, so balancers and the serving engine can price
+    heats and device loads with a single matrix product instead of Python
+    loops over experts and replicas.
+    """
 
     def __init__(
         self,
@@ -29,10 +38,15 @@ class ExpertPlacement:
         self._native: list[list[int]] = [[] for _ in range(num_devices)]
         self._shadow: list[list[int]] = [[] for _ in range(num_devices)]
         self._replicas: dict[int, list[int]] = {}
+        self._matrix = np.zeros((num_experts, num_devices))
+        self._counts = np.zeros(num_experts, dtype=np.int64)
+        self._shadow_counts = np.zeros(num_devices, dtype=np.int64)
         for expert in range(num_experts):
             device = self.native_device(expert)
             self._native[device].append(expert)
             self._replicas[expert] = [device]
+            self._matrix[expert, device] = 1.0
+            self._counts[expert] = 1
 
     # -- construction ----------------------------------------------------------
 
@@ -83,6 +97,37 @@ class ExpertPlacement:
         share = 1.0 / len(devices)
         return [(device, share) for device in devices]
 
+    # -- vectorized views --------------------------------------------------------
+
+    @property
+    def replica_matrix(self) -> np.ndarray:
+        """Read-only ``(num_experts, num_devices)`` 0/1 replica matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def replica_counts(self) -> np.ndarray:
+        """Read-only per-expert replica counts (row sums of the matrix)."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def shadow_counts(self) -> np.ndarray:
+        """Read-only per-device count of occupied shadow slots."""
+        view = self._shadow_counts.view()
+        view.flags.writeable = False
+        return view
+
+    def shadow_entries(self) -> list[tuple[int, int]]:
+        """All ``(device, expert)`` shadow replicas, device-major order."""
+        return [
+            (device, expert)
+            for device in range(self.num_devices)
+            for expert in self._shadow[device]
+        ]
+
     # -- mutation ----------------------------------------------------------------
 
     def add_replica(self, expert: int, device: int) -> None:
@@ -99,6 +144,9 @@ class ExpertPlacement:
             raise ValueError(f"device {device} has no free shadow slot")
         self._shadow[device].append(expert)
         self._replicas[expert].append(device)
+        self._matrix[expert, device] = 1.0
+        self._counts[expert] += 1
+        self._shadow_counts[device] += 1
 
     def drop_replica(self, expert: int, device: int) -> None:
         """Release a shadow replica (never the native copy)."""
@@ -110,6 +158,9 @@ class ExpertPlacement:
             )
         self._shadow[device].remove(expert)
         self._replicas[expert].remove(device)
+        self._matrix[expert, device] = 0.0
+        self._counts[expert] -= 1
+        self._shadow_counts[device] -= 1
 
     def reset_shadows(self) -> None:
         """Drop every shadow replica, returning to the native layout."""

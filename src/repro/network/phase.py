@@ -2,6 +2,8 @@
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.network.traffic import Flow, TrafficMatrix
 from repro.topology.base import Topology
 
@@ -35,6 +37,64 @@ class PhaseResult:
             into[key] = into.get(key, 0.0) + volume
 
 
+class _RouteCache:
+    """Per-topology route tables in index/weight array form.
+
+    Topologies are immutable after construction, so for every (src, dst)
+    pair the set of links a flow loads — primary route plus the O1TURN
+    alternate when a mesh offers one — is fixed.  The cache stores that set
+    as a unique link-index array with per-link byte weights (route share,
+    pre-merged for links shared between routes) plus the worst per-route
+    latency, letting :func:`simulate_phase` charge a whole flow list with
+    one ``bincount`` instead of walking Link objects.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.keys = list(topology.links)
+        self.index = {key: position for position, key in enumerate(self.keys)}
+        self.bandwidth = np.array(
+            [topology.links[key].bandwidth for key in self.keys]
+        )
+        self.num_links = len(self.keys)
+        self._pairs: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, float]] = {}
+
+    def pair(self, src: int, dst: int) -> tuple[np.ndarray, np.ndarray, float]:
+        """(link indices, per-byte weights, path latency) for one pair."""
+        entry = self._pairs.get((src, dst))
+        if entry is None:
+            primary = self.topology.route(src, dst)
+            # O1TURN-style multipath: meshes split each flow evenly across
+            # the XY and YX dimension orders when they differ.
+            routes = [primary]
+            route_alternate = getattr(self.topology, "route_alternate", None)
+            if route_alternate is not None:
+                alternate = route_alternate(src, dst)
+                if [link.key for link in alternate] != [link.key for link in primary]:
+                    routes.append(alternate)
+            share = 1.0 / len(routes)
+            flat = np.array(
+                [self.index[link.key] for path in routes for link in path],
+                dtype=np.intp,
+            )
+            indices, counts = np.unique(flat, return_counts=True)
+            weights = share * counts
+            latency = max(
+                sum(link.latency for link in path) for path in routes
+            )
+            entry = (indices, weights, latency)
+            self._pairs[(src, dst)] = entry
+        return entry
+
+
+def _route_cache(topology: Topology) -> _RouteCache:
+    cache = getattr(topology, "_phase_route_cache", None)
+    if cache is None or cache.topology is not topology:
+        cache = _RouteCache(topology)
+        topology._phase_route_cache = cache
+    return cache
+
+
 def simulate_phase(
     topology: Topology,
     flows: TrafficMatrix | list[Flow],
@@ -53,13 +113,24 @@ def simulate_phase(
     all-to-alls, so it is opt-in.
     """
     if isinstance(flows, TrafficMatrix):
-        flow_list = flows.flows()
+        # (src, dst, volume) triples straight off the matrix — the cut-through
+        # path never needs Flow objects, and a 256-device all-to-all has
+        # thousands of them per iteration.
+        triples = [(src, dst, volume) for (src, dst), volume in flows.items()]
     else:
-        flow_list = [flow for flow in flows if flow.volume > 0 and flow.src != flow.dst]
+        triples = [
+            (flow.src, flow.dst, flow.volume)
+            for flow in flows
+            if flow.volume > 0 and flow.src != flow.dst
+        ]
 
-    if not flow_list:
+    if not triples:
         return PhaseResult(duration=0.0)
 
+    if not store_and_forward:
+        return _simulate_cut_through(topology, triples)
+
+    flow_list = [Flow(src, dst, volume) for src, dst, volume in triples]
     route_alternate = getattr(topology, "route_alternate", None)
 
     link_bytes: dict[tuple[int, int], float] = {}
@@ -90,13 +161,46 @@ def simulate_phase(
         key: volume / topology.links[key].bandwidth
         for key, volume in link_bytes.items()
     }
-    if store_and_forward:
-        serialization = max(
-            sum(busy[link.key] for link, _share in path)
-            for path in weighted_paths
-        )
-    else:
-        serialization = max(busy.values())
+    serialization = max(
+        sum(busy[link.key] for link, _share in path)
+        for path in weighted_paths
+    )
+    return PhaseResult(
+        duration=serialization + worst_latency,
+        link_bytes=link_bytes,
+        serialization_time=serialization,
+        latency_time=worst_latency,
+        total_volume=total_volume,
+    )
+
+
+def _simulate_cut_through(
+    topology: Topology, triples: list[tuple[int, int, float]]
+) -> PhaseResult:
+    """Vectorized cut-through pricing: one bincount over cached routes."""
+    cache = _route_cache(topology)
+    pair = cache.pair
+    index_arrays = []
+    weight_arrays = []
+    worst_latency = 0.0
+    total_volume = 0.0
+    for src, dst, volume in triples:
+        indices, weights, latency = pair(src, dst)
+        index_arrays.append(indices)
+        weight_arrays.append(weights * volume)
+        if latency > worst_latency:
+            worst_latency = latency
+        total_volume += volume
+    volumes = np.bincount(
+        np.concatenate(index_arrays),
+        weights=np.concatenate(weight_arrays),
+        minlength=cache.num_links,
+    )
+    serialization = float((volumes / cache.bandwidth).max())
+    link_bytes = {
+        cache.keys[position]: float(volumes[position])
+        for position in np.nonzero(volumes)[0]
+    }
     return PhaseResult(
         duration=serialization + worst_latency,
         link_bytes=link_bytes,

@@ -1,0 +1,92 @@
+"""Tests for the content-hashed on-disk result cache."""
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.result import RunResult
+from repro.experiments.spec import ExperimentSpec
+
+
+def _point(params):
+    return {"doubled": params["x"] * 2}
+
+
+def _spec(version=1, point=_point, name="cached"):
+    return ExperimentSpec(
+        name=name,
+        figure="test",
+        description="cache test spec",
+        grid={"x": [1, 2]},
+        point=point,
+        version=version,
+    )
+
+
+class TestKeys:
+    def test_key_stable_for_same_inputs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.key(spec, {"x": 1}) == cache.key(spec, {"x": 1})
+
+    def test_key_differs_by_params(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.key(spec, {"x": 1}) != cache.key(spec, {"x": 2})
+
+    def test_key_differs_by_version(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key(_spec(version=1), {"x": 1}) != cache.key(
+            _spec(version=2), {"x": 1}
+        )
+
+    def test_key_differs_by_point_source(self, tmp_path):
+        def other_point(params):
+            return {"doubled": params["x"] + params["x"]}
+
+        cache = ResultCache(tmp_path)
+        assert cache.key(_spec(), {"x": 1}) != cache.key(
+            _spec(point=other_point), {"x": 1}
+        )
+
+
+class TestGetPut:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(_spec(), {"x": 1}) is None
+
+    def test_round_trip_marks_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = RunResult(
+            spec=spec.name, params={"x": 1}, metrics={"doubled": 2}, duration_s=0.5
+        )
+        cache.put(spec, result)
+        hit = cache.get(spec, {"x": 1})
+        assert hit is not None
+        assert hit.cached
+        assert hit.metrics == {"doubled": 2}
+        assert hit.duration_s == 0.5
+
+    def test_other_params_still_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(
+            spec, RunResult(spec=spec.name, params={"x": 1}, metrics={"doubled": 2})
+        )
+        assert cache.get(spec, {"x": 2}) is None
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = RunResult(spec=spec.name, params={"x": 1}, metrics={"doubled": 2})
+        path = cache.put(spec, result)
+        path.write_text("{not json")
+        assert cache.get(spec, {"x": 1}) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(
+            spec, RunResult(spec=spec.name, params={"x": 1}, metrics={"doubled": 2})
+        )
+        assert cache.clear() == 1
+        assert cache.get(spec, {"x": 1}) is None
+        assert cache.clear() == 0

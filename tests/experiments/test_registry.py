@@ -1,0 +1,87 @@
+"""Tests for spec registration, lookup, and the CLI plumbing."""
+
+import pytest
+
+from repro.experiments import all_specs, find_specs, get_spec, register
+from repro.experiments.cli import main
+from repro.experiments.spec import ExperimentSpec
+
+
+def _point(params):
+    return {"ok": 1}
+
+
+class TestRegistry:
+    def test_builtin_figures_registered(self):
+        names = {spec.name for spec in all_specs()}
+        expected = {
+            "fig01_breakdown",
+            "fig04_ep_sweep_deepseek_v3",
+            "fig04_ep_sweep_qwen3",
+            "fig06_comm_scaling",
+            "fig11_heatmaps",
+            "fig12_load_traces",
+            "fig13a_token_sweep",
+            "fig13b_models",
+            "fig13c_scales",
+            "fig13d_multiwafer",
+            "fig14a_esp",
+            "fig14b_allgather",
+            "fig15_balancer_trace",
+            "fig16_balancing_qwen3",
+            "fig16_balancing_deepseek_v3",
+            "fig17_ablation_qwen3",
+            "fig17_ablation_deepseek_v3",
+            "serving_speed",
+            "smoke",
+            "table1_models",
+        }
+        assert expected <= names
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment spec"):
+            get_spec("nope_not_a_spec")
+
+    def test_find_by_figure_group(self):
+        specs = find_specs("fig16")
+        assert [spec.name for spec in specs] == [
+            "fig16_balancing_qwen3",
+            "fig16_balancing_deepseek_v3",
+        ]
+
+    def test_find_by_exact_name(self):
+        assert [s.name for s in find_specs("fig16_balancing_qwen3")] == [
+            "fig16_balancing_qwen3"
+        ]
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError, match="no experiment spec matches"):
+            find_specs("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        spec = ExperimentSpec(
+            name="smoke",  # collides with the builtin
+            figure="test",
+            description="dup",
+            grid={"x": [1]},
+            point=_point,
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            register(spec)
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16_balancing_qwen3" in out
+
+    def test_run_unknown_spec_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "no experiment spec matches" in capsys.readouterr().err
+
+    def test_run_smoke_emits_artifact(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["run", "smoke", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert (tmp_path / "smoke.txt").exists()
+        assert "6 points" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Tests for the experiment Runner: caching behaviour and worker pools."""
+
+import os
+
+import pytest
+
+from repro.experiments import Runner, get_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.figures import smoke
+
+
+def _smoke_like(name, cacheable=True):
+    """A fresh spec reusing the importable smoke point (pool-safe)."""
+    return ExperimentSpec(
+        name=name,
+        figure="test",
+        description="runner test spec",
+        grid={"x": [1, 2, 3], "y": [10, 20]},
+        point=smoke.run_point,
+        render=smoke.render,
+        cacheable=cacheable,
+    )
+
+
+class TestSerial:
+    def test_results_in_grid_order(self, tmp_path):
+        spec = _smoke_like("runner_serial")
+        outcome = Runner(cache_dir=tmp_path).run(spec)
+        assert [r.params for r in outcome.results] == spec.expand()
+        assert [r.metrics["product"] for r in outcome.results] == [
+            10, 20, 20, 40, 30, 60,
+        ]
+        assert outcome.cache_misses == 6
+
+    def test_run_text_uses_render(self, tmp_path):
+        spec = _smoke_like("runner_text")
+        text = Runner(cache_dir=tmp_path).run_text(spec)
+        assert "x*y" in text
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            Runner(jobs=0)
+
+
+class TestCaching:
+    def test_second_run_hits_cache(self, tmp_path):
+        spec = _smoke_like("runner_cache")
+        runner = Runner(cache_dir=tmp_path)
+        first = runner.run(spec)
+        second = runner.run(spec)
+        assert first.cache_hits == 0
+        assert second.cache_hits == 6
+        assert [r.metrics for r in second.results] == [
+            r.metrics for r in first.results
+        ]
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        spec = _smoke_like("runner_nocache")
+        runner = Runner(use_cache=False, cache_dir=tmp_path)
+        runner.run(spec)
+        assert not os.path.isdir(tmp_path) or not os.listdir(tmp_path)
+        assert runner.run(spec).cache_hits == 0
+
+    def test_uncacheable_spec_never_cached(self, tmp_path):
+        spec = _smoke_like("runner_uncacheable", cacheable=False)
+        runner = Runner(cache_dir=tmp_path)
+        runner.run(spec)
+        assert runner.run(spec).cache_hits == 0
+
+    def test_partial_cache_fills_gaps(self, tmp_path):
+        spec = _smoke_like("runner_partial")
+        runner = Runner(cache_dir=tmp_path)
+        runner.run(spec)
+        # Drop one entry; the next run recomputes exactly that point.
+        victim = runner.cache.path(spec, {"x": 1, "y": 10})
+        victim.unlink()
+        outcome = runner.run(spec)
+        assert outcome.cache_hits == 5
+        assert outcome.cache_misses == 1
+        assert outcome.results[0].metrics == {"product": 10, "sum": 11}
+
+
+class TestWorkerPool:
+    def test_pool_matches_serial(self, tmp_path):
+        spec = _smoke_like("runner_pool")
+        serial = Runner(use_cache=False, cache_dir=tmp_path).run(spec)
+        pooled = Runner(jobs=2, use_cache=False, cache_dir=tmp_path).run(spec)
+        assert [r.params for r in pooled.results] == [
+            r.params for r in serial.results
+        ]
+        assert [r.metrics for r in pooled.results] == [
+            r.metrics for r in serial.results
+        ]
+
+    def test_pool_populates_cache(self, tmp_path):
+        spec = _smoke_like("runner_pool_cache")
+        runner = Runner(jobs=2, cache_dir=tmp_path)
+        assert runner.run(spec).cache_misses == 6
+        assert runner.run(spec).cache_hits == 6
+
+    def test_registered_smoke_spec_runs(self, tmp_path):
+        spec = get_spec("smoke")
+        outcome = Runner(jobs=2, use_cache=False, cache_dir=tmp_path).run(spec)
+        assert len(outcome.results) == spec.num_points

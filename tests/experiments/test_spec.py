@@ -1,0 +1,93 @@
+"""Tests for ExperimentSpec grids and rendering."""
+
+import json
+
+import pytest
+
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.result import RunResult
+
+
+def _metrics(params):
+    return {"value": params.get("x", 0)}
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="", figure="f", description="d", grid={"x": [1]}, point=_metrics
+            )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="s", figure="f", description="d", grid={}, point=_metrics
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ExperimentSpec(
+                name="s", figure="f", description="d", grid={"x": []}, point=_metrics
+            )
+
+
+class TestExpansion:
+    def test_product_in_declared_axis_order(self):
+        spec = ExperimentSpec(
+            name="s",
+            figure="f",
+            description="d",
+            grid={"a": [1, 2], "b": ["x", "y"]},
+            point=_metrics,
+        )
+        assert spec.num_points == 4
+        assert spec.expand() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_composite_axis_values_pass_through(self):
+        spec = ExperimentSpec(
+            name="s",
+            figure="f",
+            description="d",
+            grid={"case": [[4, 2], [6, 18]]},
+            point=_metrics,
+        )
+        assert spec.expand() == [{"case": [4, 2]}, {"case": [6, 18]}]
+
+    def test_expansion_is_deterministic(self):
+        spec = ExperimentSpec(
+            name="s",
+            figure="f",
+            description="d",
+            grid={"a": [3, 1, 2], "b": [True, False]},
+            point=_metrics,
+        )
+        assert spec.expand() == spec.expand()
+
+
+class TestRendering:
+    def test_default_render_is_json_lines(self):
+        spec = ExperimentSpec(
+            name="s", figure="f", description="d", grid={"x": [1]}, point=_metrics
+        )
+        results = [RunResult(spec="s", params={"x": 1}, metrics={"value": 1})]
+        lines = spec.render_text(results).splitlines()
+        assert len(lines) == 1
+        decoded = json.loads(lines[0])
+        assert decoded == {"params": {"x": 1}, "metrics": {"value": 1}}
+
+    def test_custom_render_used(self):
+        spec = ExperimentSpec(
+            name="s",
+            figure="f",
+            description="d",
+            grid={"x": [1]},
+            point=_metrics,
+            render=lambda results: f"{len(results)} rows",
+        )
+        assert spec.render_text([]) == "0 rows"
