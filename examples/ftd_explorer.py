@@ -53,7 +53,7 @@ def main():
             model.experts_per_token, model.token_bytes,
         )
         alltoall = simulate_alltoall(
-            mesh, demand, placement.destinations, mapping.token_holders
+            mesh, demand, placement, mapping
         )
         score = complementarity(
             classify_links(mesh, allreduce.link_bytes),

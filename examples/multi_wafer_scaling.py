@@ -32,7 +32,7 @@ def analyse(name, system):
     )
     allreduce = mapping.simulate_allreduce(tokens_per_group * model.token_bytes)
     alltoall = simulate_alltoall(
-        system.topology, demand, placement.destinations, mapping.token_holders
+        system.topology, demand, placement, mapping
     )
     loads = np.full(
         model.num_experts,

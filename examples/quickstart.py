@@ -28,7 +28,7 @@ def communication_times(system):
     )
     allreduce = mapping.simulate_allreduce(TOKENS_PER_GROUP * model.token_bytes)
     alltoall = simulate_alltoall(
-        system.topology, demand, placement.destinations, mapping.token_holders
+        system.topology, demand, placement, mapping
     )
     return allreduce.duration, alltoall.duration
 

@@ -120,10 +120,24 @@ class IterationSimulator:
         self.mapping = mapping
         self.config = config or EngineConfig()
         self.compute = ComputeModel(device, model)
+        #: volume -> CollectiveResult.  The attention all-reduce depends
+        #: only on (mapping, volume) — never on gating counts or expert
+        #: placement — and the mapping is fixed per simulator, so serving
+        #: loops pay the ring simulation once instead of every iteration.
+        #: Treat cached results as frozen; don't mutate their link_bytes.
+        self._allreduce_cache: dict[float, CollectiveResult] = {}
 
     def allreduce_volume(self) -> float:
         """Bytes all-reduced per TP group: the group's token activations."""
         return self.config.tokens_per_group * self.model.token_bytes
+
+    def simulate_allreduce(self, volume_per_group: float) -> CollectiveResult:
+        """The mapping's all-reduce for this volume, cached per simulator."""
+        result = self._allreduce_cache.get(volume_per_group)
+        if result is None:
+            result = self.mapping.simulate_allreduce(volume_per_group)
+            self._allreduce_cache[volume_per_group] = result
+        return result
 
     def simulate_layer(
         self,
@@ -153,14 +167,14 @@ class IterationSimulator:
             tp=self.mapping.tp,
             decode=config.decode,
         )
-        allreduce = self.mapping.simulate_allreduce(self.allreduce_volume())
+        allreduce = self.simulate_allreduce(self.allreduce_volume())
 
         demand = counts * self.model.token_bytes
         alltoall = simulate_alltoall(
             self.mapping.topology,
             demand,
-            placement.destinations,
-            self.mapping.token_holders,
+            placement,
+            self.mapping,
         )
 
         expert_loads = counts.sum(axis=0)

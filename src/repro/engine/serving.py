@@ -23,6 +23,7 @@ from repro.hardware.device import DeviceSpec
 from repro.mapping.base import Mapping
 from repro.mapping.placement import ExpertPlacement
 from repro.models.configs import MoEModelConfig
+from repro.network.phase import migration_route_arrays
 from repro.workload.gating import GatingSimulator
 
 
@@ -185,11 +186,19 @@ class ServingSimulator:
     # -- migration pricing -------------------------------------------------------
 
     def _migration_path_time(self, migration: Migration) -> float:
-        """Store-and-forward weight-copy latency on the critical path."""
-        path = self.mapping.topology.route(migration.src, migration.dst)
-        return sum(
-            migration.volume / link.bandwidth + link.latency for link in path
+        """Store-and-forward weight-copy latency on the critical path.
+
+        Per-pair (bandwidth, latency) arrays come from the shared phase
+        route cache instead of re-walking ``topology.route`` per migration;
+        the cumulative sum keeps the seed's sequential accumulation order,
+        so the priced latency is bit-identical to the original loop.
+        """
+        bandwidths, latencies = migration_route_arrays(
+            self.mapping.topology, migration.src, migration.dst
         )
+        if bandwidths.size == 0:
+            return 0.0
+        return float(np.cumsum(migration.volume / bandwidths + latencies)[-1])
 
     def _ftd_of(self, device: int):
         ftd_fn = getattr(self.mapping, "ftd_of", None)

@@ -5,6 +5,7 @@ package so figure specs (and their worker processes) can import them
 without path tricks.
 """
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -22,6 +23,19 @@ def emit(name: str, text: str, results_dir=None) -> None:
     (directory / f"{name}.txt").write_text(text + "\n")
 
 
+def emit_json(filename: str, payload, results_dir=None) -> Path:
+    """Persist a machine-readable artifact under benchmarks/results/.
+
+    Perf-tracking consumers (CI, cross-PR trajectory scripts) parse these;
+    keep payloads JSON-native (dicts/lists/numbers/strings).
+    """
+    directory = default_results_dir() if results_dir is None else Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def comm_breakdown(system, tokens_per_group=256):
     """(allreduce_s, alltoall_s) for one sparse layer, balanced gating."""
     model = system.model
@@ -35,9 +49,7 @@ def comm_breakdown(system, tokens_per_group=256):
         model.token_bytes,
     )
     allreduce = mapping.simulate_allreduce(tokens_per_group * model.token_bytes)
-    alltoall = simulate_alltoall(
-        system.topology, demand, placement.destinations, mapping.token_holders
-    )
+    alltoall = simulate_alltoall(system.topology, demand, placement, mapping)
     return allreduce.duration, alltoall.duration
 
 

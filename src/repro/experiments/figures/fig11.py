@@ -57,7 +57,7 @@ def run_point(params: dict) -> dict:
         mapping.dp, model.num_experts, 256, model.experts_per_token, model.token_bytes
     )
     alltoall = simulate_alltoall(
-        mesh, demand, placement.destinations, mapping.token_holders
+        mesh, demand, placement, mapping
     )
     score = complementarity(
         classify_links(mesh, allreduce.link_bytes),

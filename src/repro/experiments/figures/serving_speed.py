@@ -3,15 +3,24 @@
 Times the full ``ServingSimulator`` loop — gating, balancing, migration
 draining, batched MoE rooflines, device-load stats — on a 64-device 8x8
 wafer serving a 64-expert Qwen3 variant for 300 iterations.  This is the
-hot path the vectorized placement/balancer/compute layers accelerate; the
-spec is uncacheable because its metrics are wall-clock timings.
+hot path the vectorized placement/balancer/compute and array-native
+traffic layers accelerate; the spec is uncacheable because its metrics are
+wall-clock timings.
+
+Besides the rendered table, every run writes machine-readable per-config
+timings to ``benchmarks/results/BENCH_serving.json`` so the perf
+trajectory is tracked across PRs.  ``REPRO_SERVING_BENCH_ITERS`` shrinks
+the loop for CI smoke runs (the JSON records the iteration count, so smoke
+numbers are never mistaken for full-run numbers).
 """
 
+import os
 import time
 from dataclasses import replace
 
 from repro.analysis.report import format_table
 from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.experiments.common import emit_json
 from repro.experiments.figures.shared import strategy_class, strategy_label
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec
@@ -19,9 +28,14 @@ from repro.models import QWEN3_235B
 from repro.systems import build_wsc
 from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
 
-ITERATIONS = 300
+FULL_ITERATIONS = 300
+ITERATIONS = int(os.environ.get("REPRO_SERVING_BENCH_ITERS", str(FULL_ITERATIONS)))
 SIDE = 8  # 64 devices
 NUM_EXPERTS = 64
+#: The git-tracked trajectory record only holds full-length runs; reduced
+#: smoke runs (CI) write a separate, untracked file so they never clobber it.
+BENCH_JSON = "BENCH_serving.json"
+BENCH_SMOKE_JSON = "BENCH_serving.smoke.json"
 
 
 def run_point(params: dict) -> dict:
@@ -59,6 +73,28 @@ def run_point(params: dict) -> dict:
 
 
 def render(results) -> str:
+    full_run = all(
+        result.params["iterations"] >= FULL_ITERATIONS for result in results
+    )
+    emit_json(
+        BENCH_JSON if full_run else BENCH_SMOKE_JSON,
+        {
+            "benchmark": "serving_speed",
+            "system": {"devices": SIDE * SIDE, "mapping": "er", "tp": 4},
+            "configs": [
+                {
+                    "strategy": result.params["strategy"],
+                    "num_experts": result.params["num_experts"],
+                    "iterations": result.params["iterations"],
+                    "wall_s": result.metrics["wall_s"],
+                    "iters_per_s": result.metrics["iters_per_s"],
+                    "load_ratio": result.metrics["load_ratio"],
+                    "migrations": result.metrics["migrations"],
+                }
+                for result in results
+            ],
+        },
+    )
     rows = []
     for result in results:
         m = result.metrics

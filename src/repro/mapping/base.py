@@ -4,6 +4,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 from repro.network.allreduce import (
     CollectiveResult,
     ring_allreduce,
@@ -11,6 +13,51 @@ from repro.network.allreduce import (
 )
 from repro.topology.base import Topology
 from repro.topology.mesh import MeshTopology
+
+
+class HolderTable:
+    """Frozen ``(num_groups, num_devices) -> (holder ids, fractions)`` table.
+
+    Mappings are immutable after construction, so every ``(group, dest)``
+    token-holder list is fixed; this materializes them once into CSR
+    arrays (``offsets``/``holders``/``fractions``) that the array-native
+    all-to-all pipeline slices without re-invoking per-pair callbacks.
+    Each row preserves its family's holder ordering exactly — the dispatch
+    plan's bit-compatibility with the per-entry loop depends on it.
+    """
+
+    def __init__(
+        self,
+        num_groups: int,
+        num_devices: int,
+        rows: list,
+    ) -> None:
+        if len(rows) != num_groups * num_devices:
+            raise ValueError(
+                f"expected {num_groups * num_devices} rows, got {len(rows)}"
+            )
+        self.num_groups = num_groups
+        self.num_devices = num_devices
+        counts = np.array([len(row) for row in rows], dtype=np.intp)
+        self.offsets = np.concatenate(([0], np.cumsum(counts)))
+        self.holders = np.array(
+            [holder for row in rows for holder, _fraction in row],
+            dtype=np.intp,
+        )
+        self.fractions = np.array(
+            [fraction for row in rows for _holder, fraction in row]
+        )
+
+    def entries(self, group: int, dest: int) -> tuple[tuple[int, float], ...]:
+        """The ordered ``(holder, fraction)`` tuples for one (group, dest)."""
+        start = self.offsets[group * self.num_devices + dest]
+        stop = self.offsets[group * self.num_devices + dest + 1]
+        return tuple(
+            zip(
+                self.holders[start:stop].tolist(),
+                self.fractions[start:stop].tolist(),
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -158,6 +205,27 @@ class Mapping(ABC):
         """Holders for FTD geometry analysis (Sec. IV-A assumes nearest)."""
         return self._nearest_members(group, dest)
 
+    def token_holder_table(self) -> HolderTable:
+        """The full token-holder relation as one precomputed array table.
+
+        Built lazily from :meth:`token_holders` over every
+        ``(group, dest)`` pair — each family's override (FTD-confined for
+        ER, mirror devices for HER, inverse-distance weighted for baseline
+        and GPU mappings) flows through unchanged — then cached for the
+        mapping's lifetime.
+        """
+        table = self.__dict__.get("_holder_table")
+        if table is None:
+            num_devices = self.topology.num_devices
+            rows = [
+                self.token_holders(group, dest)
+                for group in range(self.dp)
+                for dest in range(num_devices)
+            ]
+            table = HolderTable(self.dp, num_devices, rows)
+            self._holder_table = table
+        return table
+
     # -- attention all-reduce -------------------------------------------------
 
     def simulate_allreduce(self, volume_per_group: float) -> CollectiveResult:
@@ -239,21 +307,6 @@ class MeshMapping(Mapping):
         if self._ftd_index is None:
             return None
         return self._ftd_index[device]
-
-    def token_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
-        """FTD-confined fetch when the mapping defines FTDs.
-
-        Under ER-Mapping every FTD tile contains exactly one member of each
-        TP group, and the paper confines dispatch/combine to the fetcher's
-        own tile ("dispatch and combine happen within FTD") — even when a
-        member of a neighbouring tile is equidistant, crossing the tile
-        boundary would reintroduce the congestion ER-Mapping eliminates.
-        """
-        if self.retain_allgather and self._ftd_index is not None:
-            member = self._member_in_ftd(group, self._ftd_index[dest])
-            if member is not None:
-                return [(member, 1.0)]
-        return super().token_holders(group, dest)
 
     def analysis_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
         """FTD analysis follows the routing rule when tiles are defined."""

@@ -11,7 +11,14 @@ from repro.topology.mesh import Coord
 
 
 class BaselineMapping(MeshMapping):
-    """Contiguous-tile TP groups on a mesh."""
+    """Contiguous-tile TP groups on a mesh.
+
+    Token holders follow the generic inverse-distance weighting of
+    :class:`~repro.mapping.base.Mapping` (no FTD confinement), so this
+    family's precomputed holder table has dense ``tp``-entry rows whose
+    fractions vary with mesh distance — the worst case for dispatch-plan
+    size, and exactly the long-haul traffic the paper's Fig. 8b analyses.
+    """
 
     staggered_rings = False
 

@@ -23,6 +23,25 @@ class ERMapping(MeshMapping):
 
     staggered_rings = True
 
+    def token_holders(self, group: int, dest: int) -> list[tuple[int, float]]:
+        """FTD-confined fetch: the single in-tile member holds everything.
+
+        Every FTD tile contains exactly one member of each TP group, and
+        the paper confines dispatch/combine to the fetcher's own tile
+        ("dispatch and combine happen within FTD") — even when a member of
+        a neighbouring tile is equidistant, crossing the tile boundary
+        would reintroduce the congestion ER-Mapping eliminates.  In the
+        precomputed holder table this yields single-entry rows, so the
+        dispatch plan expands to at most one flow per (demand cell,
+        destination).  Without all-gather the tokens stay sharded and the
+        generic 1/TP fallback applies.
+        """
+        if self.retain_allgather and self._ftd_index is not None:
+            member = self._member_in_ftd(group, self._ftd_index[dest])
+            if member is not None:
+                return [(member, 1.0)]
+        return super().token_holders(group, dest)
+
     def _build_tp_groups(self) -> list[list[int]]:
         tpx, tpy = self.parallelism.tp_shape
         mesh = self.topology

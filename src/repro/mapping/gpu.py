@@ -12,7 +12,14 @@ from repro.topology.switched import SwitchedTopology
 
 
 class GPUMapping(Mapping):
-    """Consecutive-id TP groups on a switched topology."""
+    """Consecutive-id TP groups on a switched topology.
+
+    Holder weighting degenerates on switched fabrics: hop counts through a
+    switch are uniform within a node and across the spine, so the
+    precomputed holder table's rows carry (near-)equal fractions over each
+    TP group — the all-to-all cost is then dominated by the oversubscribed
+    inter-node links rather than holder choice.
+    """
 
     staggered_rings = False
 

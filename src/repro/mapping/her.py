@@ -14,6 +14,8 @@ The MoE all-to-all then fetches each token shard from its unique on-wafer
 holder, never crossing a wafer border.
 """
 
+from functools import lru_cache
+
 from repro.mapping.base import MeshMapping, ParallelismConfig, snake_order
 from repro.network.allreduce import CollectiveResult, _run_ring_steps
 from repro.topology.mesh import Coord, MultiWaferTopology
@@ -91,18 +93,28 @@ class HierarchicalERMapping(MeshMapping):
         After the inter-wafer all-gather, the shard that group ``group``'s
         member holds at local coordinate ``c`` is replicated at local
         coordinate ``c`` of every wafer; the fetcher uses its own wafer's
-        copy, keeping all dispatch traffic on-wafer.
+        copy, keeping all dispatch traffic on-wafer.  The mirror set only
+        depends on the fetcher's wafer, so the computation is cached per
+        (group, wafer) — the holder-table build and the ESP gather both
+        hit every (group, dest) pair.
         """
+        return list(
+            self._mirror_holders_cached(group, self.wafer_topology.wafer_of(dest))
+        )
+
+    @lru_cache(maxsize=None)
+    def _mirror_holders_cached(
+        self, group: int, dest_wafer: int
+    ) -> tuple[tuple[int, float], ...]:
         mesh = self.wafer_topology
-        dest_wafer = mesh.wafer_of(dest)
         col0 = dest_wafer * mesh.wafer_width
-        holders = []
         fraction = 1.0 / self.tp
+        holders = []
         for member in self.tp_groups[group]:
             local = mesh.local_coord(member)
             mirror = mesh.device_at(Coord(local.x, col0 + local.y))
             holders.append((mirror, fraction))
-        return holders
+        return tuple(holders)
 
     # -- hierarchical all-reduce ----------------------------------------------
 

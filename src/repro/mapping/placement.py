@@ -16,10 +16,13 @@ class ExpertPlacement:
     """Mutable expert -> device assignment with bounded shadow capacity.
 
     Alongside the per-expert replica lists, the placement incrementally
-    maintains a dense ``(num_experts, num_devices)`` replica matrix and the
-    per-expert replica counts, so balancers and the serving engine can price
-    heats and device loads with a single matrix product instead of Python
-    loops over experts and replicas.
+    maintains a dense ``(num_experts, num_devices)`` replica matrix, the
+    per-expert replica counts, and the destination-share matrix
+    (``replica_matrix / counts``), so balancers, the serving engine and the
+    all-to-all dispatch plan can price heats, device loads and traffic with
+    matrix products instead of Python loops over experts and replicas.  A
+    monotonic :attr:`version` counter bumps on every mutation so derived
+    caches (dispatch plans) invalidate precisely.
     """
 
     def __init__(
@@ -41,12 +44,15 @@ class ExpertPlacement:
         self._matrix = np.zeros((num_experts, num_devices))
         self._counts = np.zeros(num_experts, dtype=np.int64)
         self._shadow_counts = np.zeros(num_devices, dtype=np.int64)
+        self._dest_share = np.zeros((num_experts, num_devices))
+        self._version = 0
         for expert in range(num_experts):
             device = self.native_device(expert)
             self._native[device].append(expert)
             self._replicas[expert] = [device]
             self._matrix[expert, device] = 1.0
             self._counts[expert] = 1
+            self._dest_share[expert, device] = 1.0
 
     # -- construction ----------------------------------------------------------
 
@@ -120,6 +126,28 @@ class ExpertPlacement:
         view.flags.writeable = False
         return view
 
+    @property
+    def destination_shares(self) -> np.ndarray:
+        """Read-only ``(num_experts, num_devices)`` token-share matrix.
+
+        Row ``e`` holds the Load/Num dispatch share of each replica device
+        (``1 / num_replicas`` on hosting devices, 0 elsewhere), maintained
+        incrementally on add/drop so the all-to-all pipeline never rebuilds
+        it per iteration.
+        """
+        view = self._dest_share.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every add/drop (migration commit).
+
+        Derived structures — dispatch plans, cached traffic — key their
+        validity on ``(placement, version)``.
+        """
+        return self._version
+
     def shadow_entries(self) -> list[tuple[int, int]]:
         """All ``(device, expert)`` shadow replicas, device-major order."""
         return [
@@ -147,6 +175,8 @@ class ExpertPlacement:
         self._matrix[expert, device] = 1.0
         self._counts[expert] += 1
         self._shadow_counts[device] += 1
+        self._dest_share[expert] = self._matrix[expert] / self._counts[expert]
+        self._version += 1
 
     def drop_replica(self, expert: int, device: int) -> None:
         """Release a shadow replica (never the native copy)."""
@@ -161,6 +191,8 @@ class ExpertPlacement:
         self._matrix[expert, device] = 0.0
         self._counts[expert] -= 1
         self._shadow_counts[device] -= 1
+        self._dest_share[expert] = self._matrix[expert] / self._counts[expert]
+        self._version += 1
 
     def reset_shadows(self) -> None:
         """Drop every shadow replica, returning to the native layout."""

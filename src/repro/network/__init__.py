@@ -12,7 +12,7 @@ the paper built into ASTRA-sim: serialisation on the bottleneck link plus a
 per-hop latency term.
 """
 
-from repro.network.traffic import Flow, TrafficMatrix
+from repro.network.traffic import ArrayTrafficMatrix, Flow, TrafficMatrix
 from repro.network.phase import PhaseResult, simulate_phase
 from repro.network.allreduce import (
     CollectiveResult,
@@ -21,9 +21,15 @@ from repro.network.allreduce import (
     ring_reduce_scatter,
     hierarchical_allreduce,
 )
-from repro.network.alltoall import AllToAllResult, simulate_alltoall
+from repro.network.alltoall import (
+    AllToAllResult,
+    DispatchPlan,
+    build_dispatch_traffic,
+    simulate_alltoall,
+)
 
 __all__ = [
+    "ArrayTrafficMatrix",
     "Flow",
     "TrafficMatrix",
     "PhaseResult",
@@ -34,5 +40,7 @@ __all__ = [
     "ring_reduce_scatter",
     "hierarchical_allreduce",
     "AllToAllResult",
+    "DispatchPlan",
+    "build_dispatch_traffic",
     "simulate_alltoall",
 ]

@@ -4,19 +4,33 @@ The dispatch traffic follows the paper's token-fetch model: a device hosting
 an expert pulls each token from the nearest holder of that token (Sec. IV-A).
 Which devices hold a token is the mapping's business — with all-gather
 retained every member of the token's TP group is a holder, without it only
-the shard owner is — so the caller supplies a ``holders`` function and this
-module stays mapping-agnostic.  Combine mirrors dispatch with reversed flow
-directions.
+the shard owner is — so the mapping supplies its precomputed
+:class:`~repro.mapping.base.HolderTable` and this module stays
+mapping-agnostic.  Combine mirrors dispatch with reversed flow directions.
+
+The hot path is array-native: a :class:`DispatchPlan` flattens the
+iteration-invariant structure — (group, expert) demand cell × placement
+destination shares × holder fractions — into parallel arrays once per
+``(mapping, placement version)``, after which each iteration's traffic is a
+gather, two multiplies, and one ``bincount``.  The plan enumerates terms in
+exactly the order the original per-entry loop visited them (kept below as
+:func:`loop_dispatch_traffic`, the reference oracle in the regression
+tests), so the aggregated volumes are bit-identical to the seed semantics.
 """
 
+import weakref
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
 from repro.network.phase import PhaseResult, simulate_phase
-from repro.network.traffic import TrafficMatrix
+from repro.network.traffic import ArrayTrafficMatrix, TrafficMatrix
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mapping.base import Mapping
+    from repro.mapping.placement import ExpertPlacement
 
 #: destinations(expert) -> [(device, share)], shares summing to 1.
 DestinationFn = Callable[[int], Iterable[tuple[int, float]]]
@@ -47,24 +61,177 @@ class AllToAllResult:
         return self.dispatch.total_volume + self.combine.total_volume
 
 
+def _first_touch_bins(
+    keys: np.ndarray, num_devices: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Factorize pair keys by first occurrence.
+
+    Returns (bin id per entry, bin src, bin dst) with bins numbered in the
+    order their pair first appears in ``keys`` — the insertion order of the
+    dict-backed loop, which downstream per-link float accumulation in
+    ``simulate_phase`` depends on for bit-compatibility.
+    """
+    unique, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    order = np.argsort(first, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size)
+    ordered_keys = unique[order]
+    return rank[inverse], ordered_keys // num_devices, ordered_keys % num_devices
+
+
+class DispatchPlan:
+    """Flattened (demand cell, destination, holder) expansion for one
+    placement snapshot under one mapping.
+
+    Entry ``k`` contributes ``demand[cell_k] * share_k * frac_k`` bytes to
+    its (holder, destination) device pair; self-fetches are excluded at
+    build time.  Aggregation walks the entries in the order the per-entry
+    loop visited them and numbers pairs by first touch among the *active*
+    (nonzero-demand) entries — exactly the dict insertion order of
+    :func:`loop_dispatch_traffic` — so both the per-pair volumes and the
+    pair ordering (hence downstream link accumulation) match the loop
+    bitwise, for dense and sparse demand alike.  The dense-demand
+    factorization is precomputed; demand with zero cells pays one
+    ``np.unique`` per call.
+    """
+
+    def __init__(self, mapping: "Mapping", placement: "ExpertPlacement") -> None:
+        num_groups = mapping.dp
+        num_experts = placement.num_experts
+        num_devices = placement.num_devices
+        if mapping.topology.num_devices != num_devices:
+            raise ValueError(
+                f"placement covers {num_devices} devices but the mapping's "
+                f"topology has {mapping.topology.num_devices}"
+            )
+        self.num_groups = num_groups
+        self.num_experts = num_experts
+        self.num_devices = num_devices
+
+        table = mapping.token_holder_table()
+        shares = placement.destination_shares
+        replica_lists = [placement.replicas(expert) for expert in range(num_experts)]
+
+        cells: list[int] = []
+        share_terms: list[float] = []
+        frac_terms: list[float] = []
+        keys: list[int] = []
+        for group in range(num_groups):
+            for expert in range(num_experts):
+                cell = group * num_experts + expert
+                for dest in replica_lists[expert]:
+                    share = shares[expert, dest]
+                    for holder, fraction in table.entries(group, dest):
+                        if holder == dest:
+                            continue
+                        cells.append(cell)
+                        share_terms.append(share)
+                        frac_terms.append(fraction)
+                        keys.append(holder * num_devices + dest)
+
+        self.entry_cell = np.array(cells, dtype=np.intp)
+        self.entry_share = np.array(share_terms)
+        self.entry_frac = np.array(frac_terms)
+        self.entry_key = np.array(keys, dtype=np.intp)
+        if self.entry_key.size:
+            self.dense_bin, self.dense_src, self.dense_dst = _first_touch_bins(
+                self.entry_key, num_devices
+            )
+        else:
+            self.dense_bin = np.empty(0, dtype=np.intp)
+            self.dense_src = np.empty(0, dtype=np.intp)
+            self.dense_dst = np.empty(0, dtype=np.intp)
+
+    def traffic(self, demand_bytes: np.ndarray) -> ArrayTrafficMatrix:
+        """Aggregate one iteration's dispatch traffic from a demand matrix."""
+        values = demand_bytes.ravel()[self.entry_cell]
+        active = values != 0
+        if active.all():
+            # Dense demand: the precomputed factorization already reflects
+            # first-touch order over every entry.
+            terms = values * self.entry_share
+            terms *= self.entry_frac
+            bins, src, dst = self.dense_bin, self.dense_src, self.dense_dst
+        else:
+            # Zero cells never enter the loop oracle's walk, so both the
+            # term sequence and the pair numbering must come from the
+            # active entries alone.
+            terms = values[active] * self.entry_share[active]
+            terms *= self.entry_frac[active]
+            bins, src, dst = _first_touch_bins(
+                self.entry_key[active], self.num_devices
+            )
+        volumes = np.bincount(bins, weights=terms, minlength=src.size)
+        positive = volumes > 0
+        return ArrayTrafficMatrix(src[positive], dst[positive], volumes[positive])
+
+
+#: placement -> {id(mapping): (mapping weakref, placement version, plan)}.
+#: Keyed weakly so retired placements release their plans; the version
+#: check invalidates plans after migrations mutate the placement.
+_PLAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def dispatch_plan(
+    mapping: "Mapping", placement: "ExpertPlacement"
+) -> DispatchPlan:
+    """The cached dispatch plan for this (mapping, placement version)."""
+    per_mapping = _PLAN_CACHE.setdefault(placement, {})
+    entry = per_mapping.get(id(mapping))
+    if entry is not None:
+        mapping_ref, version, plan = entry
+        if mapping_ref() is mapping and version == placement.version:
+            return plan
+    plan = DispatchPlan(mapping, placement)
+    per_mapping[id(mapping)] = (weakref.ref(mapping), placement.version, plan)
+    return plan
+
+
+def _validate_demand(demand_bytes: np.ndarray) -> None:
+    if demand_bytes.ndim != 2:
+        raise ValueError(
+            f"demand must be 2-D (groups x experts), got {demand_bytes.ndim}-D"
+        )
+    if (demand_bytes < 0).any():
+        raise ValueError("demand volumes must be >= 0")
+
+
 def build_dispatch_traffic(
     demand_bytes: np.ndarray,
-    destinations: DestinationFn,
-    holders: HolderFn,
-) -> TrafficMatrix:
-    """Aggregate token-fetch flows for a demand matrix.
+    placement: "ExpertPlacement",
+    mapping: "Mapping",
+) -> ArrayTrafficMatrix:
+    """Aggregate token-fetch flows for a demand matrix, array-natively.
 
     Args:
         demand_bytes: ``(num_groups, num_experts)`` array; entry ``[g, e]``
             is the byte volume of group ``g`` tokens routed to expert ``e``.
-        destinations: expert -> replica devices with token shares.
-        holders: (group, destination) -> source devices with fractions.
+        placement: expert placement supplying replica destination shares.
+        mapping: mapping supplying the token-holder table.
     """
-    if demand_bytes.ndim != 2:
-        raise ValueError(f"demand must be 2-D (groups x experts), got {demand_bytes.ndim}-D")
-    if (demand_bytes < 0).any():
-        raise ValueError("demand volumes must be >= 0")
+    _validate_demand(demand_bytes)
+    plan = dispatch_plan(mapping, placement)
+    if demand_bytes.shape != (plan.num_groups, plan.num_experts):
+        raise ValueError(
+            f"demand shape {demand_bytes.shape} != "
+            f"({plan.num_groups}, {plan.num_experts})"
+        )
+    return plan.traffic(demand_bytes)
 
+
+def loop_dispatch_traffic(
+    demand_bytes: np.ndarray,
+    destinations: DestinationFn,
+    holders: HolderFn,
+) -> TrafficMatrix:
+    """The seed per-entry dispatch builder, kept as the reference oracle.
+
+    Walks every nonzero (group, expert) demand cell, querying the
+    ``destinations``/``holders`` callbacks per entry and accumulating into
+    a dict-backed :class:`TrafficMatrix`.  :class:`DispatchPlan` reproduces
+    this bit-for-bit; the regression tests hold the two paths together.
+    """
+    _validate_demand(demand_bytes)
     traffic = TrafficMatrix()
     groups, experts = np.nonzero(demand_bytes)
     for group, expert in zip(groups.tolist(), experts.tolist()):
@@ -88,12 +255,17 @@ def reverse_traffic(traffic: TrafficMatrix) -> TrafficMatrix:
 def simulate_alltoall(
     topology: Topology,
     demand_bytes: np.ndarray,
-    destinations: DestinationFn,
-    holders: HolderFn,
+    placement: "ExpertPlacement",
+    mapping: "Mapping",
 ) -> AllToAllResult:
-    """Simulate dispatch and combine for one MoE layer invocation."""
-    dispatch_traffic = build_dispatch_traffic(demand_bytes, destinations, holders)
-    combine_traffic = reverse_traffic(dispatch_traffic)
+    """Simulate dispatch and combine for one MoE layer invocation.
+
+    Dispatch traffic comes off the cached :class:`DispatchPlan`; combine is
+    its transpose — no per-flow objects are materialized anywhere on the
+    path into :func:`~repro.network.phase.simulate_phase`.
+    """
+    dispatch_traffic = build_dispatch_traffic(demand_bytes, placement, mapping)
+    combine_traffic = dispatch_traffic.transposed()
     return AllToAllResult(
         dispatch=simulate_phase(topology, dispatch_traffic),
         combine=simulate_phase(topology, combine_traffic),

@@ -4,7 +4,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.network.traffic import Flow, TrafficMatrix
+from repro.network.traffic import ArrayTrafficMatrix, Flow, TrafficMatrix
 from repro.topology.base import Topology
 
 
@@ -58,6 +58,23 @@ class _RouteCache:
         )
         self.num_links = len(self.keys)
         self._pairs: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, float]] = {}
+        # CSR table over pairs for the array-traffic fast path: pair key
+        # src * num_devices + dst -> row; rows concatenate into flat
+        # link-index / weight arrays, rebuilt lazily when new pairs appear.
+        num_devices = topology.num_devices
+        self._row_of = np.full(num_devices * num_devices, -1, dtype=np.intp)
+        self._row_indices: list[np.ndarray] = []
+        self._row_weights: list[np.ndarray] = []
+        self._row_latency: list[float] = []
+        self._csr_dirty = False
+        self._cat_indices = np.empty(0, dtype=np.intp)
+        self._cat_weights = np.empty(0)
+        self._cat_offsets = np.empty(0, dtype=np.intp)
+        self._cat_counts = np.empty(0, dtype=np.intp)
+        self._latencies = np.empty(0)
+        # Primary-route per-link arrays for store-and-forward migration
+        # pricing (no O1TURN split: a weight copy is a single transfer).
+        self._migration_pairs: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
 
     def pair(self, src: int, dst: int) -> tuple[np.ndarray, np.ndarray, float]:
         """(link indices, per-byte weights, path latency) for one pair."""
@@ -84,7 +101,46 @@ class _RouteCache:
             )
             entry = (indices, weights, latency)
             self._pairs[(src, dst)] = entry
+            self._row_of[src * self.topology.num_devices + dst] = len(
+                self._row_indices
+            )
+            self._row_indices.append(indices)
+            self._row_weights.append(weights)
+            self._row_latency.append(latency)
+            self._csr_dirty = True
         return entry
+
+    def migration_pair(self, src: int, dst: int) -> tuple[np.ndarray, np.ndarray]:
+        """(bandwidths, latencies) of the primary route's links, cached."""
+        entry = self._migration_pairs.get((src, dst))
+        if entry is None:
+            path = self.topology.route(src, dst)
+            entry = (
+                np.array([link.bandwidth for link in path]),
+                np.array([link.latency for link in path]),
+            )
+            self._migration_pairs[(src, dst)] = entry
+        return entry
+
+    def rows_for(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """CSR row per (src, dst) pair, computing missing routes on demand."""
+        keys = src * self.topology.num_devices + dst
+        rows = self._row_of[keys]
+        if (rows < 0).any():
+            for position in np.nonzero(rows < 0)[0]:
+                self.pair(int(src[position]), int(dst[position]))
+            rows = self._row_of[keys]
+        if self._csr_dirty:
+            self._cat_indices = np.concatenate(self._row_indices)
+            self._cat_weights = np.concatenate(self._row_weights)
+            self._cat_counts = np.array(
+                [row.size for row in self._row_indices], dtype=np.intp
+            )
+            ends = np.cumsum(self._cat_counts)
+            self._cat_offsets = ends - self._cat_counts
+            self._latencies = np.array(self._row_latency)
+            self._csr_dirty = False
+        return rows
 
 
 def _route_cache(topology: Topology) -> _RouteCache:
@@ -95,9 +151,21 @@ def _route_cache(topology: Topology) -> _RouteCache:
     return cache
 
 
+def migration_route_arrays(
+    topology: Topology, src: int, dst: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cached (bandwidths, latencies) arrays of the primary src->dst route.
+
+    Store-and-forward migration pricing re-walks the same few routes every
+    trigger; this shares the per-topology route cache instead of rebuilding
+    Link lists each time.
+    """
+    return _route_cache(topology).migration_pair(src, dst)
+
+
 def simulate_phase(
     topology: Topology,
-    flows: TrafficMatrix | list[Flow],
+    flows: TrafficMatrix | ArrayTrafficMatrix | list[Flow],
     store_and_forward: bool = False,
 ) -> PhaseResult:
     """Route every flow and apply the congested Eq. 1 model.
@@ -112,7 +180,14 @@ def simulate_phase(
     transfers such as ring steps, but over-penalises large concurrent
     all-to-alls, so it is opt-in.
     """
-    if isinstance(flows, TrafficMatrix):
+    if isinstance(flows, ArrayTrafficMatrix):
+        if not store_and_forward:
+            return _simulate_cut_through_arrays(topology, flows)
+        triples = [
+            (int(s), int(d), float(v))
+            for s, d, v in zip(flows.src, flows.dst, flows.volume)
+        ]
+    elif isinstance(flows, TrafficMatrix):
         # (src, dst, volume) triples straight off the matrix — the cut-through
         # path never needs Flow objects, and a 256-device all-to-all has
         # thousands of them per iteration.
@@ -171,6 +246,43 @@ def simulate_phase(
         serialization_time=serialization,
         latency_time=worst_latency,
         total_volume=total_volume,
+    )
+
+
+def _simulate_cut_through_arrays(
+    topology: Topology, traffic: ArrayTrafficMatrix
+) -> PhaseResult:
+    """Cut-through pricing without the per-pair Python loop.
+
+    Pairs gather their cached route rows from the CSR table, volumes expand
+    across each row's links with one ``repeat``, and a single ``bincount``
+    charges every link — the per-link accumulation visits the same terms in
+    the same order as the triple-loop path, so results match it bitwise.
+    """
+    if not traffic:
+        return PhaseResult(duration=0.0)
+    cache = _route_cache(topology)
+    rows = cache.rows_for(traffic.src, traffic.dst)
+    counts = cache._cat_counts[rows]
+    starts = np.repeat(cache._cat_offsets[rows], counts)
+    ends = np.cumsum(counts)
+    within = np.arange(ends[-1]) - np.repeat(ends - counts, counts)
+    gather = starts + within
+    link_indices = cache._cat_indices[gather]
+    weights = cache._cat_weights[gather] * np.repeat(traffic.volume, counts)
+    volumes = np.bincount(link_indices, weights=weights, minlength=cache.num_links)
+    serialization = float((volumes / cache.bandwidth).max())
+    worst_latency = float(cache._latencies[rows].max())
+    link_bytes = {
+        cache.keys[position]: float(volumes[position])
+        for position in np.nonzero(volumes)[0]
+    }
+    return PhaseResult(
+        duration=serialization + worst_latency,
+        link_bytes=link_bytes,
+        serialization_time=serialization,
+        latency_time=worst_latency,
+        total_volume=traffic.total_volume,
     )
 
 

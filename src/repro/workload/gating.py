@@ -70,28 +70,40 @@ class GatingSimulator:
         return self._iteration
 
     def next_counts(self) -> np.ndarray:
-        """Advance one iteration; return (layers, groups, experts) counts."""
+        """Advance one iteration; return (layers, groups, experts) counts.
+
+        The popularity-state relaxation runs as one vectorized update over
+        all layers; the multinomial draws stay one batched call per layer
+        (``size=num_groups``), which consumes the RNG stream in exactly the
+        per-(layer, group) order of the original nested loop — traces are
+        bit-identical to the seed implementation.
+        """
         model = self.model
         selections = self.tokens_per_group * model.experts_per_token
+        if self.balanced:
+            popularity = np.full(
+                (self.num_layers, model.num_experts), 1.0 / model.num_experts
+            )
+        else:
+            # The mixer may be stateful (AR(1) noise); preserve its
+            # layer-major call order.
+            targets = np.stack(
+                [
+                    self.mixer.popularity(model.num_experts, layer, self._iteration)
+                    for layer in range(self.num_layers)
+                ]
+            )
+            self._state = (
+                (1.0 - self.adaptation) * self._state + self.adaptation * targets
+            )
+            popularity = self._state
         counts = np.zeros(
             (self.num_layers, self.num_groups, model.num_experts), dtype=float
         )
         for layer in range(self.num_layers):
-            if self.balanced:
-                popularity = np.full(model.num_experts, 1.0 / model.num_experts)
-            else:
-                target = self.mixer.popularity(
-                    model.num_experts, layer, self._iteration
-                )
-                self._state[layer] = (
-                    (1.0 - self.adaptation) * self._state[layer]
-                    + self.adaptation * target
-                )
-                popularity = self._state[layer]
-            for group in range(self.num_groups):
-                counts[layer, group] = self._rng.multinomial(
-                    selections, popularity
-                )
+            counts[layer] = self._rng.multinomial(
+                selections, popularity[layer], size=self.num_groups
+            )
         self._iteration += 1
         return counts
 

@@ -8,6 +8,7 @@ of domain experts reported in Sec. V-B).
 """
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -40,20 +41,34 @@ class ScenarioProfile:
             raise ValueError(f"zipf_alpha must be >= 0, got {self.zipf_alpha}")
 
     def popularity(self, num_experts: int, layer: int = 0) -> np.ndarray:
-        """Stationary expert-selection probabilities for one MoE layer."""
+        """Stationary expert-selection probabilities for one MoE layer.
+
+        Deterministic per (profile, num_experts, layer), so the result is
+        memoized — serving loops query every layer's profile each
+        iteration.  The returned array is read-only; copy before mutating.
+        """
         if num_experts <= 0:
             raise ValueError(f"num_experts must be positive, got {num_experts}")
-        rng = np.random.default_rng(hash((self.seed, layer)) % 2**32)
-        ranks = rng.permutation(num_experts) + 1
-        base = ranks.astype(float) ** (-self.zipf_alpha)
-        base /= base.sum()
+        return _cached_popularity(self, num_experts, layer)
 
-        num_domain = max(1, int(round(self.domain_fraction * num_experts)))
-        domain_experts = rng.choice(num_experts, size=num_domain, replace=False)
-        boost = np.zeros(num_experts)
-        boost[domain_experts] = 1.0 / num_domain
 
-        return (1.0 - self.domain_boost) * base + self.domain_boost * boost
+@lru_cache(maxsize=None)
+def _cached_popularity(
+    profile: ScenarioProfile, num_experts: int, layer: int
+) -> np.ndarray:
+    rng = np.random.default_rng(hash((profile.seed, layer)) % 2**32)
+    ranks = rng.permutation(num_experts) + 1
+    base = ranks.astype(float) ** (-profile.zipf_alpha)
+    base /= base.sum()
+
+    num_domain = max(1, int(round(profile.domain_fraction * num_experts)))
+    domain_experts = rng.choice(num_experts, size=num_domain, replace=False)
+    boost = np.zeros(num_experts)
+    boost[domain_experts] = 1.0 / num_domain
+
+    result = (1.0 - profile.domain_boost) * base + profile.domain_boost * boost
+    result.flags.writeable = False
+    return result
 
 
 CHAT = ScenarioProfile(name="Chat", seed=101, zipf_alpha=0.6, domain_boost=0.30)

@@ -52,7 +52,7 @@ class TestComplementarity:
         ar = er.simulate_allreduce(256 * 8192)
         placement = ExpertPlacement(16, 16)
         demand = uniform_demand(4, 16, 256, 8, 8192)
-        a2a = simulate_alltoall(mesh, demand, placement.destinations, er.token_holders)
+        a2a = simulate_alltoall(mesh, demand, placement, er)
 
         ar_heat = classify_links(mesh, ar.link_bytes)
         a2a_heat = classify_links(mesh, a2a.link_bytes)
@@ -71,7 +71,7 @@ class TestComplementarity:
     def test_inter_ftd_links_cold_during_alltoall(self, mesh, er):
         placement = ExpertPlacement(16, 16)
         demand = uniform_demand(4, 16, 256, 8, 8192)
-        a2a = simulate_alltoall(mesh, demand, placement.destinations, er.token_holders)
+        a2a = simulate_alltoall(mesh, demand, placement, er)
         heat = classify_links(mesh, a2a.link_bytes)
         for key in mesh.links:
             src, dst = key
@@ -87,7 +87,7 @@ class TestComplementarity:
         ar = er.simulate_allreduce(256 * 8192)
         placement = ExpertPlacement(36, 36)
         demand = uniform_demand(9, 36, 256, 8, 8192)
-        a2a = simulate_alltoall(mesh, demand, placement.destinations, er.token_holders)
+        a2a = simulate_alltoall(mesh, demand, placement, er)
         score = complementarity(
             classify_links(mesh, ar.link_bytes), classify_links(mesh, a2a.link_bytes)
         )
@@ -106,7 +106,7 @@ class TestComplementarity:
         ar = er.simulate_allreduce(256 * 8192)
         placement = ExpertPlacement(16, 16)
         demand = uniform_demand(4, 16, 256, 8, 8192)
-        a2a = simulate_alltoall(mesh, demand, placement.destinations, er.token_holders)
+        a2a = simulate_alltoall(mesh, demand, placement, er)
         score = complementarity(
             classify_links(mesh, ar.link_bytes), classify_links(mesh, a2a.link_bytes)
         )

@@ -135,3 +135,24 @@ class TestSimulateLayer:
             counts, system.fresh_placement(), migration_exposed=1e-3
         )
         assert sim.breakdown.migration_exposed == 1e-3
+
+
+class TestAllreduceCache:
+    def test_cache_returns_same_result_object(self, simulator):
+        volume = simulator.allreduce_volume()
+        first = simulator.simulate_allreduce(volume)
+        assert simulator.simulate_allreduce(volume) is first
+
+    def test_cached_matches_uncached(self, simulator, system):
+        volume = simulator.allreduce_volume()
+        cached = simulator.simulate_allreduce(volume)
+        fresh = system.mapping.simulate_allreduce(volume)
+        assert cached.duration == fresh.duration
+        assert cached.num_steps == fresh.num_steps
+        assert cached.link_bytes == fresh.link_bytes
+
+    def test_distinct_volumes_get_distinct_entries(self, simulator):
+        small = simulator.simulate_allreduce(1e6)
+        large = simulator.simulate_allreduce(2e6)
+        assert small is not large
+        assert large.duration > small.duration

@@ -34,7 +34,7 @@ def comm_times(system, tokens_per_group=256):
     )
     allreduce = mapping.simulate_allreduce(tokens_per_group * model.token_bytes)
     alltoall = simulate_alltoall(
-        system.topology, demand, placement.destinations, mapping.token_holders
+        system.topology, demand, placement, mapping
     )
     return allreduce.duration, alltoall.duration
 
@@ -206,7 +206,7 @@ class TestFig17Ablation:
 
             demand = np.tile(loads / mapping.dp, (mapping.dp, 1)) * model.token_bytes
             a2a = simulate_alltoall(
-                system.topology, demand, placement.destinations, mapping.token_holders
+                system.topology, demand, placement, mapping
             )
             moe = compute.moe_peak_time(loads, placement)
             layer_time = max(moe.total, a2a.duration) + min(moe.total, a2a.duration) / 4

@@ -85,7 +85,7 @@ class TestHierarchicalAllreduce:
 
         def total(mapping):
             a2a = simulate_alltoall(
-                system, demand, placement.destinations, mapping.token_holders
+                system, demand, placement, mapping
             )
             return mapping.simulate_allreduce(volume).duration + a2a.duration
 
@@ -132,7 +132,7 @@ class TestAllToAllConfinement:
         placement = ExpertPlacement(128, 64)
         demand = uniform_demand(16, 128, 64, 8, 100)
         traffic = build_dispatch_traffic(
-            demand, placement.destinations, mapping.token_holders
+            demand, placement, mapping
         )
         for (src, dst), _volume in traffic.items():
             assert system.wafer_of(src) == system.wafer_of(dst)

@@ -62,7 +62,7 @@ class TestDispatchTraffic:
     def test_volume_conserved(self, er, placement):
         demand = uniform_demand(4, 16, 256, 8, 100)
         traffic = build_dispatch_traffic(
-            demand, placement.destinations, er.token_holders
+            demand, placement, er
         )
         # Self flows (holder == destination) are legitimately dropped.
         assert traffic.total_volume <= demand.sum() + 1e-6
@@ -71,7 +71,7 @@ class TestDispatchTraffic:
     def test_er_dispatch_stays_within_ftds(self, er, placement):
         demand = uniform_demand(4, 16, 256, 8, 100)
         traffic = build_dispatch_traffic(
-            demand, placement.destinations, er.token_holders
+            demand, placement, er
         )
         for (src, dst), _volume in traffic.items():
             assert er.ftd_of(src) == er.ftd_of(dst)
@@ -79,7 +79,7 @@ class TestDispatchTraffic:
     def test_baseline_dispatch_crosses_regions(self, baseline, placement):
         demand = uniform_demand(4, 16, 256, 8, 100)
         traffic = build_dispatch_traffic(
-            demand, placement.destinations, baseline.token_holders
+            demand, placement, baseline
         )
         distances = [
             baseline.topology.hops(src, dst) for (src, dst), _ in traffic.items()
@@ -89,13 +89,13 @@ class TestDispatchTraffic:
     def test_rejects_non_2d_demand(self, er, placement):
         with pytest.raises(ValueError, match="2-D"):
             build_dispatch_traffic(
-                np.zeros(4), placement.destinations, er.token_holders
+                np.zeros(4), placement, er
             )
 
     def test_rejects_negative_demand(self, er, placement):
         with pytest.raises(ValueError, match=">= 0"):
             build_dispatch_traffic(
-                np.full((4, 16), -1.0), placement.destinations, er.token_holders
+                np.full((4, 16), -1.0), placement, er
             )
 
 
@@ -112,7 +112,7 @@ class TestSimulateAllToAll:
     def test_dispatch_and_combine_symmetric_on_mesh(self, er, placement):
         demand = uniform_demand(4, 16, 256, 8, 100)
         result = simulate_alltoall(
-            er.topology, demand, placement.destinations, er.token_holders
+            er.topology, demand, placement, er
         )
         assert result.dispatch.duration == pytest.approx(result.combine.duration)
         assert result.duration == pytest.approx(
@@ -122,10 +122,10 @@ class TestSimulateAllToAll:
     def test_er_beats_baseline(self, er, baseline, placement):
         demand = uniform_demand(4, 16, 256, 8, 4096)
         er_time = simulate_alltoall(
-            er.topology, demand, placement.destinations, er.token_holders
+            er.topology, demand, placement, er
         ).duration
         base_time = simulate_alltoall(
-            baseline.topology, demand, placement.destinations, baseline.token_holders
+            baseline.topology, demand, placement, baseline
         ).duration
         assert er_time < base_time
 
@@ -140,15 +140,15 @@ class TestSimulateAllToAll:
 
         def total(mapping):
             a2a = simulate_alltoall(
-                mesh, demand, placement.destinations, mapping.token_holders
+                mesh, demand, placement, mapping
             ).duration
             return a2a + mapping.simulate_allreduce(256 * 8192).duration
 
         ag_a2a = simulate_alltoall(
-            mesh, demand, placement.destinations, with_ag.token_holders
+            mesh, demand, placement, with_ag
         ).duration
         no_ag_a2a = simulate_alltoall(
-            mesh, demand, placement.destinations, without_ag.token_holders
+            mesh, demand, placement, without_ag
         ).duration
         assert ag_a2a < 0.7 * no_ag_a2a
         assert total(with_ag) < total(without_ag)
@@ -158,7 +158,7 @@ class TestSimulateAllToAll:
         demand = np.zeros((4, 16))
         demand[0, 0] = 1000.0
         traffic = build_dispatch_traffic(
-            demand, placement.destinations, er.token_holders
+            demand, placement, er
         )
         volumes = dict(traffic.items())
         # Half the demand goes to the replica on device 15, fetched from
@@ -170,7 +170,7 @@ class TestSimulateAllToAll:
     def test_link_bytes_merged(self, er, placement):
         demand = uniform_demand(4, 16, 256, 8, 100)
         result = simulate_alltoall(
-            er.topology, demand, placement.destinations, er.token_holders
+            er.topology, demand, placement, er
         )
         assert result.link_bytes
         assert result.total_volume > 0

@@ -95,7 +95,7 @@ class TestAllToAllProperties:
     def test_dispatch_volume_bounded_by_demand(self, counts):
         demand = np.asarray(counts)
         traffic = build_dispatch_traffic(
-            demand, PLACEMENT.destinations, ER.token_holders
+            demand, PLACEMENT, ER
         )
         assert traffic.total_volume <= demand.sum() + 1e-6
 
@@ -110,6 +110,6 @@ class TestAllToAllProperties:
     def test_combine_mirrors_dispatch(self, counts):
         demand = np.asarray(counts)
         result = simulate_alltoall(
-            MESH, demand, PLACEMENT.destinations, ER.token_holders
+            MESH, demand, PLACEMENT, ER
         )
         assert result.dispatch.total_volume == result.combine.total_volume

@@ -102,6 +102,49 @@ class TestImbalanceProperties:
         )
 
 
+class TestVectorizedLoopParity:
+    """The vectorized next_counts must be bit-identical to the seed loop."""
+
+    @staticmethod
+    def loop_next_counts(sim):
+        """The seed implementation of next_counts, verbatim."""
+        model = sim.model
+        selections = sim.tokens_per_group * model.experts_per_token
+        counts = np.zeros(
+            (sim.num_layers, sim.num_groups, model.num_experts), dtype=float
+        )
+        for layer in range(sim.num_layers):
+            if sim.balanced:
+                popularity = np.full(model.num_experts, 1.0 / model.num_experts)
+            else:
+                target = sim.mixer.popularity(
+                    model.num_experts, layer, sim._iteration
+                )
+                sim._state[layer] = (
+                    (1.0 - sim.adaptation) * sim._state[layer]
+                    + sim.adaptation * target
+                )
+                popularity = sim._state[layer]
+            for group in range(sim.num_groups):
+                counts[layer, group] = sim._rng.multinomial(selections, popularity)
+        sim._iteration += 1
+        return counts
+
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_counts_and_state_bit_identical(self, balanced):
+        mixer_a = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        mixer_b = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        new = make_sim(mixer=mixer_a, num_layers=3, balanced=balanced)
+        reference = make_sim(mixer=mixer_b, num_layers=3, balanced=balanced)
+        for _ in range(12):
+            np.testing.assert_array_equal(
+                new.next_counts(), self.loop_next_counts(reference)
+            )
+        np.testing.assert_array_equal(new._state, reference._state)
+        # RNG streams remained aligned throughout.
+        assert new._rng.integers(1 << 30) == reference._rng.integers(1 << 30)
+
+
 class TestValidation:
     def test_rejects_bad_groups(self):
         with pytest.raises(ValueError):
