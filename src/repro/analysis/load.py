@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.mapping.placement import ExpertPlacement
+from repro.mapping.placement import ExpertPlacement, StackedPlacement
 
 
 def device_token_loads(
@@ -16,6 +16,22 @@ def device_token_loads(
         )
     shares = np.where(loads > 0, loads, 0.0) / placement.replica_counts
     return shares @ placement.replica_matrix
+
+
+def stacked_device_token_loads(
+    layer_loads: np.ndarray, placement: StackedPlacement
+) -> np.ndarray:
+    """Per-device token loads for every layer: ``(layers, devices)``.
+
+    One batched matmul over the stacked replica tensor; each layer's row is
+    bitwise identical to :func:`device_token_loads` on that layer.
+    """
+    loads = np.asarray(layer_loads, dtype=float)
+    expected = (placement.num_layers, placement.num_experts)
+    if loads.shape != expected:
+        raise ValueError(f"expected {expected} layer loads, got {loads.shape}")
+    shares = np.where(loads > 0, loads, 0.0) / placement.replica_counts
+    return np.matmul(shares[:, None, :], placement.replica_tensor)[:, 0, :]
 
 
 def load_ratio(device_loads: np.ndarray) -> float:

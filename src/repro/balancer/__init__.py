@@ -20,6 +20,14 @@ from repro.balancer.none import NoBalancer
 from repro.balancer.greedy import GreedyBalancer
 from repro.balancer.topology_aware import TopologyAwareBalancer
 from repro.balancer.ni import NonInvasiveBalancer
+from repro.balancer.stacked import (
+    STACKED_BALANCERS,
+    StackedBalancer,
+    StackedGreedyBalancer,
+    StackedNoBalancer,
+    StackedNonInvasiveBalancer,
+    StackedTopologyAwareBalancer,
+)
 from repro.balancer.heat import (
     LinkHeat,
     classify_links,
@@ -36,6 +44,12 @@ __all__ = [
     "GreedyBalancer",
     "TopologyAwareBalancer",
     "NonInvasiveBalancer",
+    "STACKED_BALANCERS",
+    "StackedBalancer",
+    "StackedNoBalancer",
+    "StackedGreedyBalancer",
+    "StackedTopologyAwareBalancer",
+    "StackedNonInvasiveBalancer",
     "LinkHeat",
     "classify_links",
     "cold_capacity",

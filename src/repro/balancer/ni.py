@@ -11,6 +11,23 @@ is zero — the balancer may fine-tune shadow slots continuously.
 from repro.balancer.base import BalancerConfig
 from repro.balancer.topology_aware import TopologyAwareBalancer
 
+#: Default per-trigger plan cap for non-invasive balancing: continuous
+#: fine-tuning plans at most a couple of migrations per trigger but
+#: triggers freely (beta = 0 in the engine).
+NONINVASIVE_PLAN_CAP = 2
+
+
+def apply_noninvasive_default(config: BalancerConfig) -> BalancerConfig:
+    """The default config adjustment shared by the per-layer and stacked
+    non-invasive balancers (an explicit config bypasses it)."""
+    if config.max_migrations_per_trigger <= NONINVASIVE_PLAN_CAP:
+        return config
+    return BalancerConfig(
+        ewma=config.ewma,
+        max_migrations_per_trigger=NONINVASIVE_PLAN_CAP,
+        drop_fraction=config.drop_fraction,
+    )
+
 
 class NonInvasiveBalancer(TopologyAwareBalancer):
     """Topology-aware planning with hidden, multi-step migrations."""
@@ -20,12 +37,5 @@ class NonInvasiveBalancer(TopologyAwareBalancer):
     def __init__(self, *args, **kwargs) -> None:
         explicit_config = kwargs.get("config") is not None or len(args) >= 4
         super().__init__(*args, **kwargs)
-        # Continuous fine-tuning by default: plan at most a couple of
-        # migrations per trigger, but trigger freely (beta = 0 in the
-        # engine).  An explicit config overrides this.
-        if not explicit_config and self.config.max_migrations_per_trigger > 2:
-            self.config = BalancerConfig(
-                ewma=self.config.ewma,
-                max_migrations_per_trigger=2,
-                drop_fraction=self.config.drop_fraction,
-            )
+        if not explicit_config:
+            self.config = apply_noninvasive_default(self.config)

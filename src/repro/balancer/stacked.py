@@ -1,0 +1,457 @@
+"""Layer-stacked balancer engine: every sparse layer in one tensor op.
+
+The per-layer :class:`~repro.balancer.base.Balancer` classes manage one
+MoE layer each; simulating DeepSeek-V3's 58 (or Qwen3's 94) sparse layers
+that way costs O(layers) Python dispatch per serving iteration.  Following
+the batched-rebalancing framing of the parallel-FEM load-balancing
+literature, this module stacks all layers' state — predicted loads,
+replica tensors, pending migrations — and performs EWMA observation, heat
+computation, the Eq. 2 cumulative imbalance, stale-replica eviction and
+migration planning as single vectorized operations over the layer axis.
+
+Bit-compatibility contract: a :class:`StackedBalancer` drives the *same*
+decision sequence as a list of per-layer balancers (the oracle kept in
+``repro.balancer.{greedy,topology_aware,ni,none}``), producing identical
+migrations, placements and serving traces.  The load-bearing facts:
+
+* batched ``np.matmul`` over a ``(layers, 1, experts) @ (layers, experts,
+  devices)`` stack is bitwise identical to the per-layer ``vector @
+  matrix`` products the oracle computes (verified by the oracle tests);
+* ``np.add.at``/``np.subtract.at`` accumulate in flat index order, so
+  pending contributions are applied per layer in the same set-iteration
+  order as the oracle's per-layer arrays;
+* argmax/argmin return the first extremum, matching the oracle's
+  ``min(candidates)``/``max(experts)`` first-wins tie-breaks — with the
+  placement's host-order stamps reproducing the ``experts_on`` list order
+  where the oracle iterates it;
+* planning runs as masked rounds over all layers at once; layers are
+  independent in the oracle (each balancer owns its state), so
+  round-major execution with layer-major emission is decision-equivalent.
+"""
+
+import numpy as np
+
+from repro.balancer.base import BalancerConfig, Migration
+from repro.balancer.greedy import GreedyBalancer
+from repro.balancer.ni import NonInvasiveBalancer, apply_noninvasive_default
+from repro.balancer.none import NoBalancer
+from repro.balancer.topology_aware import TopologyAwareBalancer
+from repro.mapping.placement import _NO_HOST, StackedPlacement
+from repro.topology.base import Topology
+
+
+class StackedBalancer:
+    """Balancing strategy over all layers' placements at once.
+
+    Mirrors the per-layer :class:`~repro.balancer.base.Balancer` API with
+    the layer axis prepended: ``observe`` takes ``(layers, experts)``
+    loads, ``heats`` returns ``(layers, devices)``, ``plan`` returns one
+    migration list per layer, and ``commit``/``abandon`` take the layer
+    index alongside the migration.
+    """
+
+    #: Invasive balancers put migration latency on the critical path.
+    invasive: bool = True
+
+    def __init__(
+        self,
+        placement: StackedPlacement,
+        topology: Topology,
+        expert_bytes: float,
+        config: BalancerConfig | None = None,
+    ) -> None:
+        if expert_bytes <= 0:
+            raise ValueError(f"expert_bytes must be positive, got {expert_bytes}")
+        self.placement = placement
+        self.topology = topology
+        self.expert_bytes = expert_bytes
+        self.config = config or BalancerConfig()
+        self.num_layers = placement.num_layers
+        self.predicted_loads = np.zeros(
+            (placement.num_layers, placement.num_experts)
+        )
+        #: Per-layer (expert, dst) in-flight sets.  Kept as Python sets with
+        #: the same insertion/discard history as the oracle's so the flat
+        #: pending arrays enumerate each layer's entries in the identical
+        #: set-iteration order (float accumulation order in ``heats``).
+        self.pending: list[set[tuple[int, int]]] = [
+            set() for _ in range(placement.num_layers)
+        ]
+        self._pending_flat_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = (
+            None
+        )
+        self._layer_range = np.arange(placement.num_layers)
+
+    # -- observation ------------------------------------------------------------
+
+    def observe(self, layer_loads: np.ndarray) -> None:
+        """Fold one iteration's ``(layers, experts)`` token counts in."""
+        loads = np.asarray(layer_loads, dtype=float)
+        expected = (self.placement.num_layers, self.placement.num_experts)
+        if loads.shape != expected:
+            raise ValueError(f"expected {expected} layer loads, got {loads.shape}")
+        weight = self.config.ewma
+        fresh = ~self.predicted_loads.any(axis=1)
+        if fresh.any():
+            self.predicted_loads[fresh] = loads[fresh]
+        seen = ~fresh
+        if seen.any():
+            self.predicted_loads[seen] = (1 - weight) * self.predicted_loads[
+                seen
+            ] + weight * loads[seen]
+
+    # -- pending bookkeeping -----------------------------------------------------
+
+    def _pending_flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """In-flight migrations as flat (layers, experts, dsts) arrays,
+        layer-major with each layer in its set-iteration order."""
+        if self._pending_flat_cache is None:
+            layer_idx: list[int] = []
+            expert_idx: list[int] = []
+            dst_idx: list[int] = []
+            for layer, pend in enumerate(self.pending):
+                if not pend:
+                    continue
+                experts, dsts = zip(*pend)
+                layer_idx.extend([layer] * len(experts))
+                expert_idx.extend(experts)
+                dst_idx.extend(dsts)
+            self._pending_flat_cache = (
+                np.asarray(layer_idx, dtype=np.int64),
+                np.asarray(expert_idx, dtype=np.int64),
+                np.asarray(dst_idx, dtype=np.int64),
+            )
+        return self._pending_flat_cache
+
+    def _pending_add(self, layer: int, expert: int, dst: int) -> None:
+        self.pending[layer].add((expert, dst))
+        self._pending_flat_cache = None
+
+    def _pending_discard(self, layer: int, expert: int, dst: int) -> None:
+        self.pending[layer].discard((expert, dst))
+        self._pending_flat_cache = None
+
+    def _replica_counts(self, include_pending: bool) -> np.ndarray:
+        counts = self.placement.replica_counts.astype(float)
+        if include_pending:
+            layers, experts, _dsts = self._pending_flat()
+            if layers.size:
+                np.add.at(counts, (layers, experts), 1.0)
+        return counts
+
+    # -- heat -------------------------------------------------------------------
+
+    def heats(self, include_pending: bool = True) -> np.ndarray:
+        """Device heats for every layer: ``(layers, devices)``."""
+        num_replicas = self._replica_counts(include_pending)
+        per_replica = np.divide(
+            self.predicted_loads,
+            num_replicas,
+            out=np.zeros_like(self.predicted_loads),
+            where=num_replicas > 0,
+        )
+        heats = np.matmul(
+            per_replica[:, None, :], self.placement.replica_tensor
+        )[:, 0, :]
+        if include_pending:
+            layers, experts, dsts = self._pending_flat()
+            if layers.size:
+                np.add.at(heats, (layers, dsts), per_replica[layers, experts])
+        return heats
+
+    def imbalances(self, heats: np.ndarray | None = None) -> np.ndarray:
+        """Per-layer imbalance degree (Eq. 2): (max heat - mean) / mean.
+
+        ``heats`` may carry a precomputed pending-free heat matrix (callers
+        that need it for eviction too avoid the second matmul).
+        """
+        if heats is None:
+            heats = self.heats(include_pending=False)
+        mean = heats.mean(axis=1)
+        peak = heats.max(axis=1)
+        return np.divide(
+            peak - mean, mean, out=np.zeros_like(mean), where=mean > 0
+        )
+
+    def imbalance_sum(self, heats: np.ndarray | None = None) -> float:
+        """Cumulative imbalance over layers, summed in layer order (the
+        oracle's ``sum()`` over per-layer floats)."""
+        return float(sum(self.imbalances(heats).tolist()))
+
+    # -- eviction ---------------------------------------------------------------
+
+    def evict_stale(self, heats: np.ndarray | None = None) -> int:
+        """Drop shadow replicas below the heat threshold on every layer.
+
+        The oracle walks each layer's shadow entries device-major with a
+        live per-expert replica counter.  Because a kept entry freezes the
+        counter for its expert, the dropped entries of each (layer, expert)
+        form a prefix of its device-major sequence: entry ``r`` drops iff
+        ``predicted / (count - j) < threshold`` holds for every ``j <= r``.
+        That prefix-AND is one vectorized pass over the shadow entries.
+
+        ``heats`` may carry the pending-free heat matrix computed for the
+        Eq. 2 trigger this iteration (nothing mutates between the two).
+        """
+        if heats is None:
+            heats = self.heats(include_pending=False)
+        mean_heat = heats.mean(axis=1)
+        threshold = self.config.drop_fraction * mean_heat
+        layer_idx, expert_idx, device_idx = self.placement.shadow_entry_arrays()
+        if layer_idx.size == 0:
+            return 0
+        # Entries arrive grouped by (layer, expert) with devices ascending
+        # — each group's device-major walk order.
+        group_start = np.empty(layer_idx.size, dtype=bool)
+        group_start[0] = True
+        group_start[1:] = (layer_idx[1:] != layer_idx[:-1]) | (
+            expert_idx[1:] != expert_idx[:-1]
+        )
+        position = np.arange(layer_idx.size)
+        start_positions = position[group_start]
+        group_sizes = np.diff(np.append(start_positions, layer_idx.size))
+        rank = position - np.repeat(start_positions, group_sizes)
+
+        counts = self.placement.replica_counts[layer_idx, expert_idx].astype(float)
+        predicted = self.predicted_loads[layer_idx, expert_idx]
+        below = (predicted / (counts - rank)) < threshold[layer_idx]
+        below &= mean_heat[layer_idx] > 0
+        fails = np.cumsum(~below)
+        fails_before_group = np.repeat(
+            fails[start_positions] - (~below[start_positions]), group_sizes
+        )
+        dropped = (fails - fails_before_group) == 0
+        if not dropped.any():
+            return 0
+        self.placement.drop_replicas(
+            layer_idx[dropped], expert_idx[dropped], device_idx[dropped]
+        )
+        return int(dropped.sum())
+
+    # -- planning ---------------------------------------------------------------
+
+    def _free_slots(self) -> np.ndarray:
+        """Free shadow slots per (layer, device), net of in-flight."""
+        free = self.placement.shadow_slots - self.placement.shadow_counts
+        layers, _experts, dsts = self._pending_flat()
+        if layers.size:
+            np.subtract.at(free, (layers, dsts), 1)
+        return free
+
+    def _pending_dst_mask(self, chosen_expert: np.ndarray) -> np.ndarray:
+        """(layers, devices) mask of pending destinations whose expert is
+        the layer's chosen expert."""
+        mask = np.zeros(
+            (self.placement.num_layers, self.placement.num_devices), dtype=bool
+        )
+        layers, experts, dsts = self._pending_flat()
+        if layers.size:
+            match = experts == chosen_expert[layers]
+            mask[layers[match], dsts[match]] = True
+        return mask
+
+    def plan(self, iteration: int) -> list[list[Migration]]:
+        """Propose migrations for every layer; returns one list per layer."""
+        raise NotImplementedError
+
+    def commit(self, layer: int, migration: Migration) -> None:
+        """Activate a completed migration on ``layer``."""
+        self._pending_discard(layer, migration.expert, migration.dst)
+        if not self.placement.layer(layer).hosts(migration.dst, migration.expert):
+            self.placement.add_replica(layer, migration.expert, migration.dst)
+
+    def abandon(self, layer: int, migration: Migration) -> None:
+        """Drop an in-flight migration on ``layer``."""
+        self._pending_discard(layer, migration.expert, migration.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.placement!r})"
+
+
+class StackedNoBalancer(StackedBalancer):
+    """All layers keep their native placement; never migrates."""
+
+    invasive = False
+
+    def plan(self, iteration: int) -> list[list[Migration]]:
+        return [[] for _ in range(self.num_layers)]
+
+
+class StackedGreedyBalancer(StackedBalancer):
+    """Greedy (EPLB-style) rounds over all layers at once."""
+
+    invasive = True
+
+    def plan(self, iteration: int) -> list[list[Migration]]:
+        plans: list[list[Migration]] = [[] for _ in range(self.num_layers)]
+        layer = self._layer_range
+        num_replicas = self._replica_counts(include_pending=True)
+        heats = self.heats(include_pending=True)
+        free = self._free_slots()
+        active = np.ones(self.num_layers, dtype=bool)
+        natives = self.placement.native_devices
+
+        for _ in range(self.config.max_migrations_per_trigger):
+            per_replica = self.predicted_loads / num_replicas
+            hottest = np.argmax(per_replica, axis=1)
+            share = per_replica[layer, hottest]
+            active &= share > 0
+            if not active.any():
+                break
+
+            hosts = self.placement.replica_tensor[layer, hottest] > 0
+            hosts |= self._pending_dst_mask(hottest)
+            candidates = ~hosts & (free > 0) & active[:, None]
+            active &= candidates.any(axis=1)
+            if not active.any():
+                break
+            coldest = np.argmin(np.where(candidates, heats, np.inf), axis=1)
+
+            new_share = self.predicted_loads[layer, hottest] / (
+                num_replicas[layer, hottest] + 1
+            )
+            active &= heats[layer, coldest] + new_share < heats.max(axis=1)
+            if not active.any():
+                break
+
+            chosen = np.nonzero(active)[0]
+            for index in chosen.tolist():
+                expert = int(hottest[index])
+                dst = int(coldest[index])
+                plans[index].append(
+                    Migration(
+                        expert=expert,
+                        src=int(natives[expert]),
+                        dst=dst,
+                        volume=self.expert_bytes,
+                    )
+                )
+                self._pending_add(index, expert, dst)
+            delta = np.where(active, share - new_share, 0.0)
+            heats -= np.where(hosts & active[:, None], delta[:, None], 0.0)
+            heats[chosen, coldest[chosen]] += new_share[chosen]
+            free[chosen, coldest[chosen]] -= 1
+            num_replicas[chosen, hottest[chosen]] += 1
+        return plans
+
+
+class StackedTopologyAwareBalancer(StackedBalancer):
+    """Algorithm 1 rounds (peak reduction, nearest destination), stacked."""
+
+    invasive = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._hops_rows: dict[int, np.ndarray] = {}
+
+    def _hops_row(self, src: int) -> np.ndarray:
+        row = self._hops_rows.get(src)
+        if row is None:
+            row = np.array(
+                [
+                    self.topology.hops(src, dst) if dst != src else 0
+                    for dst in range(self.placement.num_devices)
+                ],
+                dtype=float,
+            )
+            self._hops_rows[src] = row
+        return row
+
+    def plan(self, iteration: int) -> list[list[Migration]]:
+        plans: list[list[Migration]] = [[] for _ in range(self.num_layers)]
+        layer = self._layer_range
+        num_replicas = self._replica_counts(include_pending=True)
+        heats = self.heats(include_pending=True)
+        free = self._free_slots()
+        active = np.ones(self.num_layers, dtype=bool)
+        tensor = self.placement.replica_tensor
+        tensor_by_device = tensor.transpose(0, 2, 1)
+        order_by_device = self.placement.host_order.transpose(0, 2, 1)
+
+        for _ in range(self.config.max_migrations_per_trigger):
+            hottest_device = np.argmax(heats, axis=1)
+            active &= heats[layer, hottest_device] > 0
+            if not active.any():
+                break
+
+            # The hottest device's hottest expert, tie-broken by the
+            # experts_on enumeration order via the host-order stamps.
+            per_replica = self.predicted_loads / num_replicas
+            hosted = tensor_by_device[layer, hottest_device] > 0
+            active &= hosted.any(axis=1)
+            if not active.any():
+                break
+            loads_on = np.where(hosted, per_replica, -np.inf)
+            peak_load = loads_on.max(axis=1)
+            stamps = order_by_device[layer, hottest_device]
+            first_max = np.where(loads_on == peak_load[:, None], stamps, _NO_HOST)
+            source = np.argmin(first_max, axis=1)
+            active &= self.predicted_loads[layer, source] > 0
+            if not active.any():
+                break
+
+            share = per_replica[layer, source]
+            new_share = self.predicted_loads[layer, source] / (
+                num_replicas[layer, source] + 1
+            )
+            hosts = tensor[layer, source] > 0
+            hosts |= self._pending_dst_mask(source)
+            cold = (
+                ~hosts
+                & (free > 0)
+                & (heats + new_share[:, None] < heats[layer, hottest_device][:, None])
+                & active[:, None]
+            )
+            active &= cold.any(axis=1)
+            if not active.any():
+                break
+
+            chosen = np.nonzero(active)[0]
+            hops = np.stack(
+                [self._hops_row(int(hottest_device[l])) for l in chosen.tolist()]
+            )
+            destination = np.full(self.num_layers, -1, dtype=np.int64)
+            destination[chosen] = np.argmin(
+                np.where(cold[chosen], hops, np.inf), axis=1
+            )
+
+            for index in chosen.tolist():
+                expert = int(source[index])
+                dst = int(destination[index])
+                plans[index].append(
+                    Migration(
+                        expert=expert,
+                        src=int(hottest_device[index]),
+                        dst=dst,
+                        volume=self.expert_bytes,
+                    )
+                )
+                self._pending_add(index, expert, dst)
+            delta = np.where(active, share - new_share, 0.0)
+            heats -= np.where(hosts & active[:, None], delta[:, None], 0.0)
+            heats[chosen, destination[chosen]] += new_share[chosen]
+            free[chosen, destination[chosen]] -= 1
+            num_replicas[chosen, source[chosen]] += 1
+        return plans
+
+
+class StackedNonInvasiveBalancer(StackedTopologyAwareBalancer):
+    """Topology-aware planning with hidden, multi-step migrations."""
+
+    invasive = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        explicit_config = kwargs.get("config") is not None or len(args) >= 4
+        super().__init__(*args, **kwargs)
+        if not explicit_config:
+            self.config = apply_noninvasive_default(self.config)
+
+
+#: Per-layer balancer class -> its stacked equivalent (exact match; custom
+#: subclasses fall back to the per-layer serving path).
+STACKED_BALANCERS: dict[type, type[StackedBalancer]] = {
+    NoBalancer: StackedNoBalancer,
+    GreedyBalancer: StackedGreedyBalancer,
+    TopologyAwareBalancer: StackedTopologyAwareBalancer,
+    NonInvasiveBalancer: StackedNonInvasiveBalancer,
+}

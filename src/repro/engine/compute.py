@@ -124,33 +124,26 @@ class ComputeModel:
             compute=float(compute[slowest]), memory=float(memory[slowest])
         )
 
-    def moe_peak_times(
+    def moe_peak_arrays(
         self,
         layer_loads: np.ndarray,
-        placements: list,
-    ) -> list[RooflineTimes]:
-        """Batched :meth:`moe_peak_time` across layers.
+        matrices: np.ndarray,
+        counts: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-layer peak-device (compute, memory) arrays.
+
+        The shared kernel behind :meth:`moe_peak_times` and the serving
+        engine's stacked path: one einsum over a ``(layers, experts,
+        devices)`` replica tensor, then an argmax along the device axis.
 
         Args:
-            layer_loads: ``(layers, experts)`` token loads, one row per layer.
-            placements: one :class:`ExpertPlacement` per layer (all with the
-                same expert/device counts).
+            layer_loads: ``(layers, experts)`` token loads.
+            matrices: ``(layers, experts, devices)`` replica tensor (a
+                stacked-placement view or an ``np.stack`` of per-layer
+                matrices — einsum is bitwise identical on either).
+            counts: ``(layers, experts)`` replica counts.
         """
-        if not placements:
-            return []
         loads = np.asarray(layer_loads, dtype=float)
-        if loads.ndim != 2 or loads.shape[0] != len(placements):
-            raise ValueError(
-                f"layer_loads shape {loads.shape} does not match "
-                f"{len(placements)} placements"
-            )
-        if loads.shape[1] != placements[0].num_experts:
-            raise ValueError(
-                f"expected {placements[0].num_experts} expert loads per layer, "
-                f"got {loads.shape[1]}"
-            )
-        matrices = np.stack([p.replica_matrix for p in placements])
-        counts = np.stack([p.replica_counts for p in placements])
         active = (loads > 0).astype(float)
         shares = active * loads / counts
         device_tokens = np.einsum("le,led->ld", shares, matrices)
@@ -158,10 +151,48 @@ class ComputeModel:
         compute = device_tokens * self.model.expert_flops_per_token / self.device.int8_ops
         memory = device_active * self.model.expert_bytes / self.device.hbm_bandwidth
         peak = np.argmax(compute + memory, axis=1)
-        return [
-            RooflineTimes(
-                compute=float(compute[layer, device]),
-                memory=float(memory[layer, device]),
+        rows = np.arange(peak.size)
+        return compute[rows, peak], memory[rows, peak]
+
+    def moe_peak_times(
+        self,
+        layer_loads: np.ndarray,
+        placements,
+    ) -> list[RooflineTimes]:
+        """Batched :meth:`moe_peak_time` across layers.
+
+        Args:
+            layer_loads: ``(layers, experts)`` token loads, one row per layer.
+            placements: one :class:`ExpertPlacement` per layer (all with the
+                same expert/device counts), or a
+                :class:`~repro.mapping.placement.StackedPlacement` whose
+                tensors are used directly, copy-free.
+        """
+        loads = np.asarray(layer_loads, dtype=float)
+        if hasattr(placements, "replica_tensor"):
+            matrices = placements.replica_tensor
+            counts = placements.replica_counts
+            num_layers = placements.num_layers
+            num_experts = placements.num_experts
+        else:
+            if not placements:
+                return []
+            matrices = np.stack([p.replica_matrix for p in placements])
+            counts = np.stack([p.replica_counts for p in placements])
+            num_layers = len(placements)
+            num_experts = placements[0].num_experts
+        if loads.ndim != 2 or loads.shape[0] != num_layers:
+            raise ValueError(
+                f"layer_loads shape {loads.shape} does not match "
+                f"{num_layers} placements"
             )
-            for layer, device in enumerate(peak)
+        if loads.shape[1] != num_experts:
+            raise ValueError(
+                f"expected {num_experts} expert loads per layer, "
+                f"got {loads.shape[1]}"
+            )
+        compute, memory = self.moe_peak_arrays(loads, matrices, counts)
+        return [
+            RooflineTimes(compute=float(c), memory=float(m))
+            for c, m in zip(compute.tolist(), memory.tolist())
         ]

@@ -30,7 +30,10 @@ def run_point(params: dict) -> dict:
         num_groups=system.mapping.dp,
         tokens_per_group=128,
         mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=80),
-        num_layers=2,
+        # Full model depth: the stacked balancer engine makes per-layer
+        # state cheap, so the Eq. 2 trigger sees every sparse layer
+        # instead of a 2-layer proxy.
+        num_layers=model.num_sparse_layers,
         seed=17,
     )
     simulator = ServingSimulator(

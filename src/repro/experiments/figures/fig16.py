@@ -50,7 +50,9 @@ def run_point(params: dict) -> dict:
         num_groups=system.mapping.dp,
         tokens_per_group=tokens,
         mixer=mixer,
-        num_layers=2,
+        # Full model depth (stacked balancer engine) — all sparse layers
+        # feed the cumulative Eq. 2 trigger.
+        num_layers=model.num_sparse_layers,
         seed=23,
     )
     simulator = ServingSimulator(

@@ -51,7 +51,9 @@ def run_point(params: dict) -> dict:
         num_groups=system.mapping.dp,
         tokens_per_group=tokens_per_group,
         mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=30),
-        num_layers=1,
+        # Full model depth (stacked balancer engine) instead of the old
+        # single-layer proxy.
+        num_layers=model.num_sparse_layers,
         adaptation=0.3,
         seed=29,
     )

@@ -12,6 +12,13 @@ timings to ``benchmarks/results/BENCH_serving.json`` so the perf
 trajectory is tracked across PRs.  ``REPRO_SERVING_BENCH_ITERS`` shrinks
 the loop for CI smoke runs (the JSON records the iteration count, so smoke
 numbers are never mistaken for full-run numbers).
+
+The ``layers`` axis measures depth scaling: 2 simulated MoE layers (the
+historical proxy depth, comparable with earlier PRs' records) and 58 —
+full DeepSeek-V3 depth, which the layer-stacked balancer engine runs at
+roughly 2x the proxy cost instead of ~29x.  ``REPRO_SERVING_BENCH_LAYERS``
+(or ``bench_serving_speed.py --layers``) overrides the axis for ad-hoc
+depth sweeps without editing this spec.
 """
 
 import os
@@ -32,6 +39,15 @@ FULL_ITERATIONS = 300
 ITERATIONS = int(os.environ.get("REPRO_SERVING_BENCH_ITERS", str(FULL_ITERATIONS)))
 SIDE = 8  # 64 devices
 NUM_EXPERTS = 64
+#: Proxy depth (2, the pre-stacked default) and full DeepSeek-V3 depth (58).
+DEFAULT_LAYERS = [2, 58]
+LAYERS = [
+    int(value)
+    for value in os.environ.get(
+        "REPRO_SERVING_BENCH_LAYERS",
+        ",".join(str(layers) for layers in DEFAULT_LAYERS),
+    ).split(",")
+]
 #: The git-tracked trajectory record only holds full-length runs; reduced
 #: smoke runs (CI) write a separate, untracked file so they never clobber it.
 BENCH_JSON = "BENCH_serving.json"
@@ -49,7 +65,7 @@ def run_point(params: dict) -> dict:
         num_groups=system.mapping.dp,
         tokens_per_group=128,
         mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=60),
-        num_layers=2,
+        num_layers=params["layers"],
         seed=41,
     )
     simulator = ServingSimulator(
@@ -73,8 +89,13 @@ def run_point(params: dict) -> dict:
 
 
 def render(results) -> str:
-    full_run = all(
-        result.params["iterations"] >= FULL_ITERATIONS for result in results
+    # Only full-length runs over the canonical depth axis update the
+    # tracked trajectory record; reduced iterations AND ad-hoc --layers
+    # sweeps both divert to the untracked smoke file.
+    full_run = (
+        all(result.params["iterations"] >= FULL_ITERATIONS for result in results)
+        and sorted({result.params["layers"] for result in results})
+        == DEFAULT_LAYERS
     )
     emit_json(
         BENCH_JSON if full_run else BENCH_SMOKE_JSON,
@@ -85,6 +106,7 @@ def render(results) -> str:
                 {
                     "strategy": result.params["strategy"],
                     "num_experts": result.params["num_experts"],
+                    "layers": result.params["layers"],
                     "iterations": result.params["iterations"],
                     "wall_s": result.metrics["wall_s"],
                     "iters_per_s": result.metrics["iters_per_s"],
@@ -102,6 +124,7 @@ def render(results) -> str:
             [
                 strategy_label(result.params["strategy"]),
                 result.params["num_experts"],
+                result.params["layers"],
                 result.params["iterations"],
                 f"{m['wall_s']:.2f}s",
                 f"{m['iters_per_s']:.1f} it/s",
@@ -113,6 +136,7 @@ def render(results) -> str:
         [
             "Balancer",
             "Experts",
+            "Layers",
             "Iterations",
             "Wall clock",
             "Throughput",
@@ -130,6 +154,7 @@ SPEC = register(
         description="Wall-clock microbenchmark of the serving simulator loop",
         grid={
             "num_experts": [NUM_EXPERTS],
+            "layers": LAYERS,
             "iterations": [ITERATIONS],
             "strategy": ["greedy", "non_invasive"],
         },

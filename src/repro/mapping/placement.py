@@ -45,6 +45,7 @@ class ExpertPlacement:
         self._counts = np.zeros(num_experts, dtype=np.int64)
         self._shadow_counts = np.zeros(num_devices, dtype=np.int64)
         self._dest_share = np.zeros((num_experts, num_devices))
+        self._shadow_mask = np.zeros((num_experts, num_devices), dtype=bool)
         self._version = 0
         for expert in range(num_experts):
             device = self.native_device(expert)
@@ -149,12 +150,22 @@ class ExpertPlacement:
         return self._version
 
     def shadow_entries(self) -> list[tuple[int, int]]:
-        """All ``(device, expert)`` shadow replicas, device-major order."""
-        return [
-            (device, expert)
-            for device in range(self.num_devices)
-            for expert in self._shadow[device]
-        ]
+        """All ``(device, expert)`` shadow replicas, device-major order.
+
+        Within a device, entries come out expert-ascending.  A device never
+        hosts two shadow replicas of the same expert, so any within-device
+        order yields identical eviction decisions — the per-expert walk
+        order across devices (device-major) is what matters.
+        """
+        devices, experts = self.shadow_entry_arrays()
+        return list(zip(devices.tolist(), experts.tolist()))
+
+    def shadow_entry_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Shadow replicas as parallel ``(devices, experts)`` index arrays,
+        device-major — one ``nonzero`` over the maintained shadow mask
+        instead of a Python walk over per-device lists."""
+        devices, experts = np.nonzero(self._shadow_mask.T)
+        return devices, experts
 
     # -- mutation ----------------------------------------------------------------
 
@@ -175,6 +186,7 @@ class ExpertPlacement:
         self._matrix[expert, device] = 1.0
         self._counts[expert] += 1
         self._shadow_counts[device] += 1
+        self._shadow_mask[expert, device] = True
         self._dest_share[expert] = self._matrix[expert] / self._counts[expert]
         self._version += 1
 
@@ -191,14 +203,31 @@ class ExpertPlacement:
         self._matrix[expert, device] = 0.0
         self._counts[expert] -= 1
         self._shadow_counts[device] -= 1
+        self._shadow_mask[expert, device] = False
         self._dest_share[expert] = self._matrix[expert] / self._counts[expert]
         self._version += 1
 
     def reset_shadows(self) -> None:
-        """Drop every shadow replica, returning to the native layout."""
+        """Drop every shadow replica, returning to the native layout.
+
+        Rebuilds the dense state wholesale (one masked assignment per
+        tensor) instead of paying a per-drop dest-share row update; the
+        version still advances once per dropped replica so derived caches
+        observe the same counter as the incremental path.
+        """
+        dropped = int(self._shadow_mask.sum())
+        if dropped == 0:
+            return
+        self._matrix[self._shadow_mask] = 0.0
+        self._dest_share[:] = self._matrix
+        self._counts[:] = 1
+        self._shadow_counts[:] = 0
+        self._shadow_mask[:] = False
         for device in range(self.num_devices):
-            for expert in list(self._shadow[device]):
-                self.drop_replica(expert, device)
+            self._shadow[device].clear()
+        for expert in range(self.num_experts):
+            del self._replicas[expert][1:]
+        self._version += dropped
 
     # -- internals ----------------------------------------------------------------
 
@@ -215,4 +244,263 @@ class ExpertPlacement:
         return (
             f"ExpertPlacement({self.num_experts} experts on "
             f"{self.num_devices} devices, {shadows} shadow replicas)"
+        )
+
+
+#: Host-order stamp marking "device does not host this expert".
+_NO_HOST = np.iinfo(np.int64).max
+
+
+class StackedPlacement:
+    """All sparse layers' expert placements as dense layer-stacked tensors.
+
+    One :class:`ExpertPlacement` per layer remains the bookkeeping ground
+    truth (replica-order lists, per-layer version counters, and the
+    zero-copy views the all-to-all dispatch plan caches against), while the
+    stack maintains mirrored ``(layers, experts, devices)`` tensors so the
+    serving engine can compute heats, device loads, MoE rooflines and
+    eviction candidates for every layer in single vectorized operations.
+
+    Mutations must go through this class (:meth:`add_replica`,
+    :meth:`drop_replica`, :meth:`drop_replicas`) so the layer objects and
+    the stacked mirrors stay coherent; :meth:`check_synced` asserts that
+    invariant for tests.
+
+    The ``host_order`` tensor assigns every (layer, expert, device) hosting
+    relation a stamp reproducing the per-layer ``experts_on`` enumeration
+    order — natives stamp ``expert`` (ascending, matching the init loop),
+    shadows stamp ``num_experts + insertion counter`` — so vectorized
+    argmax tie-breaks can replicate ``max()`` over those lists exactly.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_experts: int,
+        num_devices: int,
+        shadow_slots: int = 1,
+    ) -> None:
+        if num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {num_layers}")
+        self.num_layers = num_layers
+        self.num_experts = num_experts
+        self.num_devices = num_devices
+        self.shadow_slots = shadow_slots
+        self._layers = [
+            ExpertPlacement(num_experts, num_devices, shadow_slots=shadow_slots)
+            for _ in range(num_layers)
+        ]
+        self._tensor = np.stack([layer._matrix for layer in self._layers])
+        self._counts = np.stack([layer._counts for layer in self._layers])
+        self._shadow_counts = np.stack(
+            [layer._shadow_counts for layer in self._layers]
+        )
+        self._dest_share = np.stack([layer._dest_share for layer in self._layers])
+        self._shadow_mask = np.zeros(
+            (num_layers, num_experts, num_devices), dtype=bool
+        )
+        self._versions = np.zeros(num_layers, dtype=np.int64)
+        self._order = np.full(
+            (num_layers, num_experts, num_devices), _NO_HOST, dtype=np.int64
+        )
+        natives = self.native_devices
+        self._order[:, np.arange(num_experts), natives] = np.arange(num_experts)
+        self._order_next = np.full(num_layers, num_experts, dtype=np.int64)
+        # Shadow entries as swap-removable parallel arrays: O(1) add/drop,
+        # one small lexsort per (mutation epoch, query).
+        self._entry_data = np.zeros((3, 64), dtype=np.int64)
+        self._entry_count = 0
+        self._entry_pos: dict[tuple[int, int, int], int] = {}
+        self._shadow_entries_cache: tuple[
+            np.ndarray, np.ndarray, np.ndarray
+        ] | None = None
+
+    # -- queries ----------------------------------------------------------------
+
+    def layer(self, layer: int) -> ExpertPlacement:
+        """The per-layer placement object (zero-copy views, dispatch-plan
+        cache key).  Treat it as read-only; mutate via the stack."""
+        return self._layers[layer]
+
+    @property
+    def layers(self) -> list[ExpertPlacement]:
+        return list(self._layers)
+
+    @property
+    def native_devices(self) -> np.ndarray:
+        """Per-expert native device (identical across layers)."""
+        experts = np.arange(self.num_experts, dtype=np.int64)
+        return experts * self.num_devices // self.num_experts
+
+    @property
+    def replica_tensor(self) -> np.ndarray:
+        """Read-only ``(layers, experts, devices)`` 0/1 replica tensor."""
+        view = self._tensor.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def replica_counts(self) -> np.ndarray:
+        """Read-only ``(layers, experts)`` replica counts."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def shadow_counts(self) -> np.ndarray:
+        """Read-only ``(layers, devices)`` occupied shadow-slot counts."""
+        view = self._shadow_counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def destination_shares(self) -> np.ndarray:
+        """Read-only ``(layers, experts, devices)`` token-share tensor."""
+        view = self._dest_share.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def shadow_mask(self) -> np.ndarray:
+        """Read-only ``(layers, experts, devices)`` shadow-replica mask."""
+        view = self._shadow_mask.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def host_order(self) -> np.ndarray:
+        """Read-only host-order stamps (``_NO_HOST`` where not hosting)."""
+        view = self._order.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def versions(self) -> np.ndarray:
+        """Read-only per-layer version counters (mirror the layer objects)."""
+        view = self._versions.view()
+        view.flags.writeable = False
+        return view
+
+    def shadow_entry_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All shadow replicas as ``(layers, experts, devices)`` index
+        arrays, sorted (layer, expert)-major with devices ascending — the
+        grouping the stacked eviction pass consumes.  The entries are
+        maintained incrementally (swap-remove on drop); each query after a
+        mutation pays one lexsort over the live entries.
+        """
+        if self._shadow_entries_cache is None:
+            count = self._entry_count
+            layers = self._entry_data[0, :count]
+            experts = self._entry_data[1, :count]
+            devices = self._entry_data[2, :count]
+            order = np.lexsort((devices, experts, layers))
+            self._shadow_entries_cache = (
+                layers[order].copy(), experts[order].copy(), devices[order].copy()
+            )
+        return self._shadow_entries_cache
+
+    def _entry_add(self, layer: int, expert: int, device: int) -> None:
+        if self._entry_count == self._entry_data.shape[1]:
+            self._entry_data = np.concatenate(
+                [self._entry_data, np.zeros_like(self._entry_data)], axis=1
+            )
+        slot = self._entry_count
+        self._entry_data[:, slot] = (layer, expert, device)
+        self._entry_pos[(layer, expert, device)] = slot
+        self._entry_count += 1
+        self._shadow_entries_cache = None
+
+    def _entry_remove(self, layer: int, expert: int, device: int) -> None:
+        slot = self._entry_pos.pop((layer, expert, device))
+        last = self._entry_count - 1
+        if slot != last:
+            moved = self._entry_data[:, last]
+            self._entry_data[:, slot] = moved
+            self._entry_pos[(int(moved[0]), int(moved[1]), int(moved[2]))] = slot
+        self._entry_count = last
+        self._shadow_entries_cache = None
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add_replica(self, layer: int, expert: int, device: int) -> None:
+        """Copy ``expert`` into a shadow slot of ``device`` on ``layer``."""
+        target = self._layers[layer]
+        target.add_replica(expert, device)
+        self._tensor[layer, expert, device] = 1.0
+        self._counts[layer, expert] += 1
+        self._shadow_counts[layer, device] += 1
+        self._shadow_mask[layer, expert, device] = True
+        self._dest_share[layer, expert] = target._dest_share[expert]
+        self._order[layer, expert, device] = self._order_next[layer]
+        self._order_next[layer] += 1
+        self._versions[layer] = target.version
+        self._entry_add(layer, expert, device)
+
+    def drop_replica(self, layer: int, expert: int, device: int) -> None:
+        """Release a shadow replica on ``layer`` (never the native copy)."""
+        target = self._layers[layer]
+        target.drop_replica(expert, device)
+        self._tensor[layer, expert, device] = 0.0
+        self._counts[layer, expert] -= 1
+        self._shadow_counts[layer, device] -= 1
+        self._shadow_mask[layer, expert, device] = False
+        self._dest_share[layer, expert] = target._dest_share[expert]
+        self._order[layer, expert, device] = _NO_HOST
+        self._versions[layer] = target.version
+        self._entry_remove(layer, expert, device)
+
+    def drop_replicas(
+        self,
+        layer_idx: np.ndarray,
+        expert_idx: np.ndarray,
+        device_idx: np.ndarray,
+    ) -> None:
+        """Batched :meth:`drop_replica` over parallel index arrays."""
+        for layer, expert, device in zip(
+            layer_idx.tolist(), expert_idx.tolist(), device_idx.tolist()
+        ):
+            self.drop_replica(layer, expert, device)
+
+    def reset_shadows(self) -> None:
+        """Drop every shadow replica on every layer."""
+        for layer in self._layers:
+            layer.reset_shadows()
+        self._tensor[self._shadow_mask] = 0.0
+        self._dest_share[:] = self._tensor
+        self._counts[:] = 1
+        self._shadow_counts[:] = 0
+        self._order[self._shadow_mask] = _NO_HOST
+        self._shadow_mask[:] = False
+        self._versions[:] = [layer.version for layer in self._layers]
+        self._entry_count = 0
+        self._entry_pos.clear()
+        self._shadow_entries_cache = None
+
+    # -- invariants ---------------------------------------------------------------
+
+    def check_synced(self) -> None:
+        """Assert the stacked mirrors agree with every layer object."""
+        for index, layer in enumerate(self._layers):
+            if self._versions[index] != layer.version:
+                raise AssertionError(
+                    f"layer {index} mutated outside the stack "
+                    f"(version {layer.version} != mirror {self._versions[index]})"
+                )
+            np.testing.assert_array_equal(self._tensor[index], layer._matrix)
+            np.testing.assert_array_equal(self._counts[index], layer._counts)
+            np.testing.assert_array_equal(
+                self._shadow_counts[index], layer._shadow_counts
+            )
+            np.testing.assert_array_equal(
+                self._dest_share[index], layer._dest_share
+            )
+            np.testing.assert_array_equal(
+                self._shadow_mask[index], layer._shadow_mask
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shadows = int(self._shadow_mask.sum())
+        return (
+            f"StackedPlacement({self.num_layers} layers x {self.num_experts} "
+            f"experts on {self.num_devices} devices, {shadows} shadow replicas)"
         )

@@ -36,6 +36,51 @@ class ScenarioMixer(ABC):
                 mixed += weight * scenario.popularity(num_experts, layer)
         return mixed / mixed.sum()
 
+    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
+        """``(num_layers, num_scenarios)`` weights — one row per layer.
+
+        The base implementation calls :meth:`weights` once per layer,
+        preserving stateful mixers' per-call evolution (the seed gating
+        loop queried the mixer once per layer per iteration); subclasses
+        override with a vectorized, bit-identical equivalent.
+        """
+        return np.stack([self.weights(iteration) for _ in range(num_layers)])
+
+    def popularity_matrix(
+        self, num_experts: int, num_layers: int, iteration: int
+    ) -> np.ndarray:
+        """``(num_layers, num_experts)`` mixture popularity, all layers at
+        once: one batched weights query and one einsum over the cached
+        per-scenario profile tensor — bit-identical to stacking
+        :meth:`popularity` over layers (einsum reduces the scenario axis in
+        the same order as the accumulation loop, and a zero weight
+        contributes exact zeros)."""
+        profiles = self._profile_tensor(num_experts, num_layers)
+        weights = self.weights_batch(iteration, num_layers)
+        mixed = np.einsum("ls,lse->le", weights, profiles)
+        return mixed / mixed.sum(axis=1, keepdims=True)
+
+    def _profile_tensor(self, num_experts: int, num_layers: int) -> np.ndarray:
+        """Cached ``(layers, scenarios, experts)`` popularity profiles."""
+        cached = getattr(self, "_profile_cache", None)
+        if cached is not None and cached.shape == (
+            num_layers,
+            len(self.scenarios),
+            num_experts,
+        ):
+            return cached
+        tensor = np.stack(
+            [
+                [
+                    scenario.popularity(num_experts, layer)
+                    for scenario in self.scenarios
+                ]
+                for layer in range(num_layers)
+            ]
+        )
+        self._profile_cache = tensor
+        return tensor
+
 
 class ConstantMixer(ScenarioMixer):
     """A fixed scenario composition (e.g. Math-only)."""
@@ -59,6 +104,11 @@ class ConstantMixer(ScenarioMixer):
 
     def weights(self, iteration: int) -> np.ndarray:
         return self._weights
+
+    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
+        return np.broadcast_to(
+            self._weights, (num_layers, len(self.scenarios))
+        ).copy()
 
 
 class AzureLikeMixer(ScenarioMixer):
@@ -100,3 +150,31 @@ class AzureLikeMixer(ScenarioMixer):
             )
             raw = np.clip(raw * (1.0 + self._noise_state), 1e-6, None)
         return raw / raw.sum()
+
+    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
+        """Per-layer weights with one batched normal draw.
+
+        The raised-cosine base depends only on the iteration, so it is
+        computed once; the AR(1) noise recursion still advances once per
+        layer (matching ``num_layers`` sequential :meth:`weights` calls
+        bit-for-bit — a batched ``normal`` consumes the RNG stream in the
+        same order as per-call draws), leaving only O(scenarios) work in
+        the Python loop.
+        """
+        n = len(self.scenarios)
+        phases = (
+            2 * np.pi * (iteration / self.period_iters + np.arange(n) / n)
+        )
+        raw = 1.0 + np.cos(phases)
+        if self.noise <= 0:
+            weights = raw / raw.sum()
+            return np.broadcast_to(weights, (num_layers, n)).copy()
+        normals = self._rng.normal(0.0, self.noise, size=(num_layers, n))
+        states = np.empty((num_layers, n))
+        state = self._noise_state
+        for layer in range(num_layers):
+            state = 0.9 * state + 0.1 * normals[layer]
+            states[layer] = state
+        self._noise_state = state.copy()
+        scaled = np.clip(raw * (1.0 + states), 1e-6, None)
+        return scaled / scaled.sum(axis=1, keepdims=True)

@@ -64,48 +64,78 @@ class GatingSimulator:
         self._state = np.full(
             (num_layers, model.num_experts), 1.0 / model.num_experts
         )
+        self._balanced_popularity = np.full(
+            (num_layers, model.num_experts), 1.0 / model.num_experts
+        )
 
     @property
     def iteration(self) -> int:
         return self._iteration
 
+    def _advance_popularity(self) -> np.ndarray:
+        """Relax the per-layer popularity state one step; return (L, E)."""
+        if self.balanced:
+            return self._balanced_popularity
+        # One batched mixer query: the mixer advances any per-layer state
+        # (AR(1) noise) exactly as layer-sequential popularity() calls
+        # would, and the profile mixing is a single einsum.
+        targets = self.mixer.popularity_matrix(
+            self.model.num_experts, self.num_layers, self._iteration
+        )
+        self._state = (
+            (1.0 - self.adaptation) * self._state + self.adaptation * targets
+        )
+        return self._state
+
     def next_counts(self) -> np.ndarray:
         """Advance one iteration; return (layers, groups, experts) counts.
 
-        The popularity-state relaxation runs as one vectorized update over
-        all layers; the multinomial draws stay one batched call per layer
-        (``size=num_groups``), which consumes the RNG stream in exactly the
+        The popularity-state relaxation and mixer queries run as batched
+        ops over all layers; the multinomial draw is one broadcast call
+        whose batch dimensions consume the RNG stream in exactly the
         per-(layer, group) order of the original nested loop — traces are
         bit-identical to the seed implementation.
         """
         model = self.model
         selections = self.tokens_per_group * model.experts_per_token
-        if self.balanced:
-            popularity = np.full(
-                (self.num_layers, model.num_experts), 1.0 / model.num_experts
-            )
-        else:
-            # The mixer may be stateful (AR(1) noise); preserve its
-            # layer-major call order.
-            targets = np.stack(
-                [
-                    self.mixer.popularity(model.num_experts, layer, self._iteration)
-                    for layer in range(self.num_layers)
-                ]
-            )
-            self._state = (
-                (1.0 - self.adaptation) * self._state + self.adaptation * targets
-            )
-            popularity = self._state
-        counts = np.zeros(
-            (self.num_layers, self.num_groups, model.num_experts), dtype=float
-        )
-        for layer in range(self.num_layers):
-            counts[layer] = self._rng.multinomial(
-                selections, popularity[layer], size=self.num_groups
-            )
+        popularity = self._advance_popularity()
+        counts = self._rng.multinomial(
+            selections,
+            popularity[:, None, :],
+            size=(self.num_layers, self.num_groups),
+        ).astype(float)
         self._iteration += 1
         return counts
+
+    def next_loads(self) -> tuple[np.ndarray, np.ndarray]:
+        """Advance one iteration; return (layer-0 group counts, layer totals).
+
+        The serving loop resolves individual DP groups only on layer 0
+        (whose all-to-all is simulated in full); every other layer consumes
+        per-expert totals.  Summing ``num_groups`` iid multinomials equals
+        one multinomial with ``num_groups * selections`` trials, so layers
+        past the first draw ``experts`` binomials instead of ``groups x
+        experts`` — the layer-total distribution is exactly the seed's, at
+        ~``num_groups``x fewer RNG draws.  The stream differs from
+        :meth:`next_counts` (fewer values consumed), so a given seed yields
+        a different — equally distributed — trace realization.
+        """
+        model = self.model
+        selections = self.tokens_per_group * model.experts_per_token
+        popularity = self._advance_popularity()
+        counts0 = self._rng.multinomial(
+            selections, popularity[0], size=self.num_groups
+        ).astype(float)
+        loads = np.empty((self.num_layers, model.num_experts))
+        loads[0] = counts0.sum(axis=0)
+        if self.num_layers > 1:
+            loads[1:] = self._rng.multinomial(
+                self.num_groups * selections,
+                popularity[1:, None, :],
+                size=(self.num_layers - 1, 1),
+            )[:, 0, :]
+        self._iteration += 1
+        return counts0, loads
 
     def expert_loads(self, counts: np.ndarray) -> np.ndarray:
         """Sum counts over groups: (layers, experts) total expert loads."""

@@ -135,3 +135,25 @@ class TestTraceStats:
             ServingConfig(num_iterations=0)
         with pytest.raises(ValueError):
             ServingConfig(alpha=-1.0)
+
+
+class TestSteadyTail:
+    """Regression: _steady must never hand back warmup iterations."""
+
+    def test_skip_beyond_trace_returns_last_record(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        # Asking for more warmup than the run has must NOT fall back to
+        # the full trace (the old behaviour): only the final record — the
+        # closest to steady state — may stand in.
+        steady = trace._steady(10)
+        assert steady == [trace.records[-1]]
+        assert trace.mean_latency(skip=10) == trace.records[-1].latency
+
+    def test_skip_equal_to_length_returns_last_record(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        assert trace._steady(5) == [trace.records[-1]]
+
+    def test_normal_skip_unchanged(self):
+        trace = make_simulator(NoBalancer, iterations=5).run()
+        assert trace._steady(2) == trace.records[2:]
+        assert trace._steady(0) == trace.records

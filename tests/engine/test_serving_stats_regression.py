@@ -40,8 +40,10 @@ def loop_device_load_stats(simulator, layer_loads):
     """The seed implementation of _device_load_stats, verbatim."""
     max_loads = []
     mean_loads = []
-    for layer, balancer in enumerate(simulator.balancers):
-        device_loads = device_token_loads(layer_loads[layer], balancer.placement)
+    for layer in range(simulator.num_layers):
+        device_loads = device_token_loads(
+            layer_loads[layer], simulator.layer_placement(layer)
+        )
         max_loads.append(device_loads.max())
         mean_loads.append(device_loads.mean())
     return float(np.mean(max_loads)), float(np.mean(mean_loads))

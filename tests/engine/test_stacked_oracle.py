@@ -1,0 +1,152 @@
+"""Stacked-engine oracle regression: bit-identical to per-layer balancers.
+
+The layer-stacked engine (StackedPlacement + StackedBalancer) replaces the
+per-layer ``Balancer`` list in the serving loop.  These tests run the same
+serving configuration through both engines — the per-layer path is the
+seed implementation, kept verbatim behind ``stacked=False`` — and assert
+the traces agree *bitwise*: latency, device-load stats (hence load_ratio),
+migration counts, exposed migration latency, and the workload RNG stream.
+Any floating-point drift in heats, eviction or planning would flip a
+migration decision somewhere in 80 iterations and show up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balancer import (
+    GreedyBalancer,
+    NoBalancer,
+    NonInvasiveBalancer,
+    TopologyAwareBalancer,
+)
+from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.models import QWEN3_235B
+from repro.systems import build_wsc
+from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
+
+STRATEGIES = {
+    "none": NoBalancer,
+    "greedy": GreedyBalancer,
+    "topology": TopologyAwareBalancer,
+    "non_invasive": NonInvasiveBalancer,
+}
+
+
+def make_simulator(
+    balancer_cls,
+    stacked,
+    num_layers=6,
+    iterations=80,
+    seed=17,
+    side=4,
+    balancer_config=None,
+    **serving_kwargs,
+):
+    system = build_wsc(QWEN3_235B, side=side, tp=4, mapping="er")
+    workload = GatingSimulator(
+        QWEN3_235B,
+        num_groups=system.mapping.dp,
+        tokens_per_group=64,
+        mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=30),
+        num_layers=num_layers,
+        seed=seed,
+    )
+    return ServingSimulator(
+        system.device,
+        QWEN3_235B,
+        system.mapping,
+        workload,
+        balancer_cls,
+        engine_config=EngineConfig(tokens_per_group=64),
+        serving_config=ServingConfig(num_iterations=iterations, **serving_kwargs),
+        balancer_config=balancer_config,
+        stacked=stacked,
+    )
+
+
+def assert_traces_identical(stacked_sim, per_layer_sim):
+    stacked_trace = stacked_sim.run()
+    oracle_trace = per_layer_sim.run()
+    assert len(stacked_trace.records) == len(oracle_trace.records)
+    for ours, ref in zip(stacked_trace.records, oracle_trace.records):
+        assert ours.iteration == ref.iteration
+        assert ours.latency == ref.latency, f"iter {ref.iteration}"
+        assert ours.max_device_load == ref.max_device_load, f"iter {ref.iteration}"
+        assert ours.mean_device_load == ref.mean_device_load, f"iter {ref.iteration}"
+        assert ours.migration_exposed == ref.migration_exposed, f"iter {ref.iteration}"
+        assert ours.migrations_started == ref.migrations_started, f"iter {ref.iteration}"
+        assert ours.migrations_completed == ref.migrations_completed
+        assert ours.triggered == ref.triggered
+    # The gating RNG must have been consumed identically.
+    assert (
+        stacked_sim.workload._rng.bit_generator.state
+        == per_layer_sim.workload._rng.bit_generator.state
+    )
+    # Final placements match layer by layer (replica sets and shares).
+    for layer in range(stacked_sim.num_layers):
+        ours = stacked_sim.layer_placement(layer)
+        ref = per_layer_sim.layer_placement(layer)
+        for expert in range(ours.num_experts):
+            assert ours.replicas(expert) == ref.replicas(expert), (layer, expert)
+        np.testing.assert_array_equal(
+            ours.destination_shares, ref.destination_shares
+        )
+    stacked_sim.engine.placement.check_synced()
+
+
+@pytest.mark.parametrize("strategy", list(STRATEGIES))
+def test_stacked_matches_per_layer(strategy):
+    cls = STRATEGIES[strategy]
+    assert_traces_identical(
+        make_simulator(cls, stacked=True), make_simulator(cls, stacked=False)
+    )
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "topology"])
+def test_stacked_matches_per_layer_side_channel(strategy):
+    """Invasive draining through the side channel (fig17's NVL72 config)."""
+    cls = STRATEGIES[strategy]
+    kwargs = dict(migration_side_channel=True, shadow_slots=2, beta_iters=3)
+    assert_traces_identical(
+        make_simulator(cls, stacked=True, **kwargs),
+        make_simulator(cls, stacked=False, **kwargs),
+    )
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "non_invasive"])
+def test_stacked_matches_per_layer_aggressive_plans(strategy):
+    """fig17's large-plan config: 16 migrations per trigger + eviction."""
+    from repro.balancer import BalancerConfig
+
+    def build(stacked):
+        return make_simulator(
+            STRATEGIES[strategy],
+            stacked=stacked,
+            num_layers=4,
+            iterations=60,
+            warmup_iters=2,
+            shadow_slots=2,
+            balancer_config=BalancerConfig(max_migrations_per_trigger=16),
+        )
+
+    assert_traces_identical(build(True), build(False))
+
+
+def test_stacked_matches_at_depth():
+    """A deeper stack (the whole point) still matches the oracle."""
+    assert_traces_identical(
+        make_simulator(NonInvasiveBalancer, stacked=True, num_layers=12, iterations=40),
+        make_simulator(NonInvasiveBalancer, stacked=False, num_layers=12, iterations=40),
+    )
+
+
+def test_stacked_rejects_unknown_balancer():
+    class CustomBalancer(GreedyBalancer):
+        pass
+
+    with pytest.raises(ValueError, match="stacked"):
+        make_simulator(CustomBalancer, stacked=True, iterations=2)
+    # Auto mode silently falls back to the per-layer engine.
+    simulator = make_simulator(CustomBalancer, stacked=None, iterations=2)
+    assert not simulator.stacked
+    assert len(simulator.balancers) == simulator.num_layers

@@ -1,8 +1,9 @@
 """Tests for expert placement and shadow slots."""
 
+import numpy as np
 import pytest
 
-from repro.mapping.placement import ExpertPlacement
+from repro.mapping.placement import ExpertPlacement, StackedPlacement
 
 
 class TestNativeLayout:
@@ -117,3 +118,147 @@ class TestBounds:
         placement = ExpertPlacement(8, 4)
         with pytest.raises(ValueError, match="device"):
             placement.experts_on(4)
+
+
+def loop_shadow_entries(placement):
+    """The seed implementation of shadow_entries, verbatim."""
+    return [
+        (device, expert)
+        for device in range(placement.num_devices)
+        for expert in placement._shadow[device]
+    ]
+
+
+class TestVectorizedShadowOps:
+    """The mask-backed shadow_entries/reset_shadows match the seed loops."""
+
+    def random_placement(self, seed, num_experts=24, num_devices=16, slots=2):
+        rng = np.random.default_rng(seed)
+        placement = ExpertPlacement(num_experts, num_devices, shadow_slots=slots)
+        for _ in range(60):
+            expert = int(rng.integers(num_experts))
+            device = int(rng.integers(num_devices))
+            if not placement.hosts(device, expert) and placement.shadow_free(device) > 0:
+                placement.add_replica(expert, device)
+            elif placement._shadow_mask[expert, device]:
+                placement.drop_replica(expert, device)
+        return placement
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shadow_entries_matches_loop(self, seed):
+        placement = self.random_placement(seed)
+        # Within a device the vectorized path enumerates experts ascending
+        # rather than insertion order — equivalent for every consumer (a
+        # device hosts at most one shadow replica per expert) — so compare
+        # as device-grouped sets and check the device-major ordering.
+        entries = placement.shadow_entries()
+        reference = loop_shadow_entries(placement)
+        assert sorted(entries) == sorted(reference)
+        assert [d for d, _ in entries] == sorted(d for d, _ in reference)
+        devices, experts = placement.shadow_entry_arrays()
+        assert list(zip(devices.tolist(), experts.tolist())) == entries
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reset_shadows_matches_per_drop_loop(self, seed):
+        placement = self.random_placement(seed)
+        reference = placement.clone()
+        placement.reset_shadows()
+        for device in range(reference.num_devices):
+            for expert in list(reference._shadow[device]):
+                reference.drop_replica(expert, device)
+        assert placement.version == reference.version
+        np.testing.assert_array_equal(
+            placement.replica_matrix, reference.replica_matrix
+        )
+        np.testing.assert_array_equal(
+            placement.destination_shares, reference.destination_shares
+        )
+        for expert in range(placement.num_experts):
+            assert placement.replicas(expert) == reference.replicas(expert)
+        assert placement.shadow_entries() == []
+        assert not placement._shadow_mask.any()
+
+    def test_reset_on_clean_placement_keeps_version(self):
+        placement = ExpertPlacement(8, 4)
+        version = placement.version
+        placement.reset_shadows()
+        assert placement.version == version
+
+
+class TestStackedPlacement:
+    def test_rejects_nonpositive_layers(self):
+        with pytest.raises(ValueError, match="num_layers"):
+            StackedPlacement(0, 8, 4)
+
+    def test_mirrors_track_mutations(self):
+        rng = np.random.default_rng(3)
+        stacked = StackedPlacement(3, 12, 8, shadow_slots=2)
+        for _ in range(120):
+            layer = int(rng.integers(3))
+            expert = int(rng.integers(12))
+            device = int(rng.integers(8))
+            target = stacked.layer(layer)
+            if not target.hosts(device, expert) and target.shadow_free(device) > 0:
+                stacked.add_replica(layer, expert, device)
+            elif target._shadow_mask[expert, device]:
+                stacked.drop_replica(layer, expert, device)
+        stacked.check_synced()
+
+    def test_check_synced_detects_out_of_band_mutation(self):
+        stacked = StackedPlacement(2, 8, 4)
+        stacked.layer(1).add_replica(0, 3)
+        with pytest.raises(AssertionError, match="outside the stack"):
+            stacked.check_synced()
+
+    def test_shadow_entry_arrays_grouped_and_sorted(self):
+        stacked = StackedPlacement(2, 8, 4, shadow_slots=2)
+        stacked.add_replica(1, 0, 3)
+        stacked.add_replica(0, 5, 0)
+        stacked.add_replica(0, 5, 1)
+        stacked.add_replica(0, 2, 3)
+        layers, experts, devices = stacked.shadow_entry_arrays()
+        entries = list(zip(layers.tolist(), experts.tolist(), devices.tolist()))
+        assert entries == [(0, 2, 3), (0, 5, 0), (0, 5, 1), (1, 0, 3)]
+        stacked.drop_replica(0, 5, 0)
+        layers, experts, devices = stacked.shadow_entry_arrays()
+        entries = list(zip(layers.tolist(), experts.tolist(), devices.tolist()))
+        assert entries == [(0, 2, 3), (0, 5, 1), (1, 0, 3)]
+
+    def test_reset_shadows_all_layers(self):
+        stacked = StackedPlacement(2, 8, 4, shadow_slots=2)
+        stacked.add_replica(0, 0, 3)
+        stacked.add_replica(1, 4, 0)
+        stacked.reset_shadows()
+        stacked.check_synced()
+        assert not stacked.shadow_mask.any()
+        assert stacked.shadow_entry_arrays()[0].size == 0
+        np.testing.assert_array_equal(
+            stacked.replica_counts, np.ones((2, 8), dtype=np.int64)
+        )
+
+    def test_views_are_read_only(self):
+        stacked = StackedPlacement(2, 8, 4)
+        for view in (
+            stacked.replica_tensor,
+            stacked.replica_counts,
+            stacked.shadow_counts,
+            stacked.destination_shares,
+            stacked.shadow_mask,
+            stacked.host_order,
+            stacked.versions,
+        ):
+            with pytest.raises(ValueError):
+                view[(0,) * view.ndim] = 1
+
+    def test_host_order_reproduces_experts_on_order(self):
+        stacked = StackedPlacement(1, 8, 4, shadow_slots=2)
+        stacked.add_replica(0, 7, 0)
+        stacked.add_replica(0, 4, 0)
+        order = stacked.host_order[0]
+        hosted = [
+            expert
+            for _stamp, expert in sorted(
+                (int(order[e, 0]), e) for e in range(8) if order[e, 0] < 2**62
+            )
+        ]
+        assert hosted == stacked.layer(0).experts_on(0)

@@ -145,6 +145,49 @@ class TestVectorizedLoopParity:
         assert new._rng.integers(1 << 30) == reference._rng.integers(1 << 30)
 
 
+class TestNextLoads:
+    """The serving-loop fast path: layer-0 group counts + layer totals."""
+
+    def test_shapes(self):
+        counts0, loads = make_sim().next_loads()
+        assert counts0.shape == (4, 128)
+        assert loads.shape == (2, 128)
+
+    def test_layer0_totals_consistent(self):
+        counts0, loads = make_sim().next_loads()
+        np.testing.assert_array_equal(loads[0], counts0.sum(axis=0))
+
+    def test_total_selections_per_layer(self):
+        _counts0, loads = make_sim(num_layers=5).next_loads()
+        # Every layer's totals sum to num_groups * tokens * top_k: layers
+        # past the first draw one multinomial with all groups' trials.
+        np.testing.assert_allclose(loads.sum(axis=1), 4 * 64 * 8)
+
+    def test_popularity_state_matches_next_counts(self):
+        mixer_a = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        mixer_b = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        via_loads = make_sim(mixer=mixer_a, num_layers=3)
+        via_counts = make_sim(mixer=mixer_b, num_layers=3)
+        for _ in range(8):
+            via_loads.next_loads()
+            via_counts.next_counts()
+        # Both paths advance the same popularity relaxation; only the
+        # number of RNG values consumed differs.
+        np.testing.assert_array_equal(via_loads._state, via_counts._state)
+        assert via_loads.iteration == via_counts.iteration
+
+    def test_single_layer(self):
+        counts0, loads = make_sim(num_layers=1).next_loads()
+        assert loads.shape == (1, 128)
+        np.testing.assert_array_equal(loads[0], counts0.sum(axis=0))
+
+    def test_seeded_reproducibility(self):
+        a0, al = make_sim(seed=42).next_loads()
+        b0, bl = make_sim(seed=42).next_loads()
+        np.testing.assert_array_equal(a0, b0)
+        np.testing.assert_array_equal(al, bl)
+
+
 class TestValidation:
     def test_rejects_bad_groups(self):
         with pytest.raises(ValueError):
