@@ -18,7 +18,18 @@ of :class:`~repro.balancer.base.Balancer` objects with the seed's
 balancing logic; it is the bit-identical oracle the regression tests hold
 the stacked engine against (same workload stream in, same trace out), and
 the automatic fallback for custom balancer subclasses with no stacked
-equivalent.  Note that *traces* are not comparable with pre-stacked
+equivalent.
+
+Communication is priced per layer: layer 0 gets the full network
+simulation, and every other layer's MoE phase combines its own compute
+roofline with its own all-to-all price — layers whose placement content
+still matches layer 0 reuse its exactly-simulated collectives (so
+migration-free traces are bit-identical to the historical layer-0
+broadcast, which survives behind
+``ServingConfig(per_layer_alltoall=False)`` as the oracle), while
+migration-diverged layers are priced against their own destination shares
+through the layer-batched
+:class:`~repro.network.alltoall.LayeredDispatchPlan`.  Note that *traces* are not comparable with pre-stacked
 releases under either engine: the loop now samples the workload through
 :meth:`~repro.workload.gating.GatingSimulator.next_loads`, which consumes
 the RNG stream differently (equally distributed, fewer draws) than the
@@ -42,6 +53,7 @@ from repro.hardware.device import DeviceSpec
 from repro.mapping.base import Mapping
 from repro.mapping.placement import ExpertPlacement, StackedPlacement
 from repro.models.configs import MoEModelConfig
+from repro.network.alltoall import layered_dispatch_plan
 from repro.network.phase import migration_route_arrays
 from repro.workload.gating import GatingSimulator
 
@@ -61,6 +73,13 @@ class ServingConfig:
         migration_side_channel: hide migration behind a dedicated channel
             (the NVMe path GPU systems use, paper reference [3]) — exposed
             latency becomes zero even for invasive balancers.
+        per_layer_alltoall: price each layer's all-to-all against its own
+            placement once migrations make layers diverge (layers whose
+            placement content still matches layer 0 reuse its exactly
+            simulated collectives, so migration-free runs are bit-identical
+            either way).  Disable to restore the layer-0-broadcast pricing
+            of earlier releases — the pre-migration oracle the regression
+            tests pin against.
     """
 
     num_iterations: int = 150
@@ -69,6 +88,7 @@ class ServingConfig:
     warmup_iters: int = 5
     shadow_slots: int = 1
     migration_side_channel: bool = False
+    per_layer_alltoall: bool = True
 
     def __post_init__(self) -> None:
         if self.num_iterations <= 0:
@@ -84,6 +104,10 @@ class IterationRecord:
     iteration: int
     latency: float
     breakdown: IterationBreakdown
+    #: Mean per-layer all-to-all duration across simulated layers.  Equals
+    #: ``breakdown.alltoall`` (layer 0's price) exactly while every layer
+    #: shares layer 0's placement content or per-layer pricing is off.
+    alltoall_mean: float
     max_device_load: float
     mean_device_load: float
     migration_exposed: float
@@ -136,6 +160,8 @@ class ServingTrace:
             elif component == "moe_memory":
                 values.append(record.breakdown.moe.memory)
             elif component == "alltoall":
+                values.append(record.alltoall_mean)
+            elif component == "alltoall_layer0":
                 values.append(record.breakdown.alltoall)
             elif component == "allreduce":
                 values.append(record.breakdown.allreduce)
@@ -243,6 +269,18 @@ class ServingSimulator:
             return self.engine.placement.layer(layer)
         return self.balancers[layer].placement
 
+    def layer_placements(self) -> list[ExpertPlacement]:
+        """Every layer's placement, whichever engine is running."""
+        if self.stacked:
+            return self.engine.placement.layers
+        return [balancer.placement for balancer in self.balancers]
+
+    def _plan_anchor(self):
+        """The weakly-cacheable object the layered plan cache keys on."""
+        if self.stacked:
+            return self.engine.placement
+        return self.balancers[0].placement
+
     # -- migration pricing -------------------------------------------------------
 
     def _migration_path_time(self, migration: Migration) -> float:
@@ -289,10 +327,22 @@ class ServingSimulator:
         exposed, started = self._maybe_rebalance(iteration)
 
         # Full network + compute simulation on layer 0; one batched MoE
-        # roofline call for the rest (communication volumes barely differ by
-        # layer, so layer-0 collectives price every layer).
+        # roofline call for the rest.  Layer 0's collectives price every
+        # layer whose placement content still matches it; once migrations
+        # make layers diverge (and per_layer_alltoall is on), each
+        # diverged content group is priced against its own destination
+        # shares through the layer-batched dispatch plan.
         sim = self.simulator.simulate_layer(counts0, self.layer_placement(0))
         breakdown = sim.breakdown
+
+        a2a_layers = None
+        if self.serving_config.per_layer_alltoall and self.num_layers > 1:
+            plan = layered_dispatch_plan(
+                self.mapping, self._plan_anchor(), self.layer_placements()
+            )
+            if not plan.uniform:
+                demand = counts0 * self.model.token_bytes
+                a2a_layers = plan.alltoall_durations(demand, breakdown.alltoall)
 
         layer_totals = [breakdown.attention_phase + breakdown.moe_phase]
         if self.num_layers > 1:
@@ -310,22 +360,36 @@ class ServingSimulator:
                     [balancer.placement for balancer in self.balancers[1:]],
                 )
                 moe_totals = np.array([moe.total for moe in moe_times])
+            layer_a2a = (
+                breakdown.alltoall if a2a_layers is None else a2a_layers[1:]
+            )
             if self.engine_config.overlap:
                 stages = self.engine_config.pipeline_stages
-                longer = np.maximum(moe_totals, breakdown.alltoall)
-                shorter = np.minimum(moe_totals, breakdown.alltoall)
+                longer = np.maximum(moe_totals, layer_a2a)
+                shorter = np.minimum(moe_totals, layer_a2a)
                 moe_phases = longer + shorter / stages
             else:
-                moe_phases = moe_totals + breakdown.alltoall
+                moe_phases = moe_totals + layer_a2a
             layer_totals.extend(breakdown.attention_phase + moe_phases)
 
+        # Depth-scaled sum over the simulated layers: every layer now
+        # contributes its own MoE phase (compute roofline + all-to-all
+        # price), normalized by the simulated depth.  With a uniform
+        # placement stack this reduces exactly to the layer-0 broadcast.
         latency = (
             self.model.num_sparse_layers * float(np.mean(layer_totals)) + exposed
         )
 
+        # a2a_layers[0] is breakdown.alltoall verbatim (layer 0 anchors its
+        # content group), so the uniform case stays the exact scalar.
+        a2a_mean = (
+            breakdown.alltoall
+            if a2a_layers is None
+            else float(np.mean(a2a_layers))
+        )
         completed = self._drain_migrations(
             ar_duration=breakdown.allreduce * self.model.num_sparse_layers,
-            a2a_duration=breakdown.alltoall * self.model.num_sparse_layers,
+            a2a_duration=a2a_mean * self.model.num_sparse_layers,
         )
 
         max_load, mean_load = self._device_load_stats(layer_loads)
@@ -333,6 +397,7 @@ class ServingSimulator:
             iteration=iteration,
             latency=latency,
             breakdown=breakdown,
+            alltoall_mean=a2a_mean,
             max_device_load=max_load,
             mean_device_load=mean_load,
             migration_exposed=exposed,
@@ -343,11 +408,21 @@ class ServingSimulator:
 
     # -- balancing ----------------------------------------------------------------
 
-    def _commit(self, layer: int, migration: Migration) -> None:
+    def _commit_many(self, items: list[tuple[int, Migration]]) -> None:
+        """Commit a trigger's (or drain cycle's) migrations in one batch.
+
+        The stacked engine applies them through the vectorized
+        ``commit_many`` (one dest-share rebuild per touched expert); the
+        per-layer oracle keeps its sequential commits — both end in the
+        bitwise-identical placement state.
+        """
+        if not items:
+            return
         if self.stacked:
-            self.engine.commit(layer, migration)
+            self.engine.commit_many(items)
         else:
-            self.balancers[layer].commit(migration)
+            for layer, migration in items:
+                self.balancers[layer].commit(migration)
 
     def _maybe_rebalance(self, iteration: int) -> tuple[float, int]:
         config = self.serving_config
@@ -381,14 +456,20 @@ class ServingSimulator:
 
         exposed = 0.0
         started = 0
+        # Invasive commits apply as one batch after pricing: path pricing
+        # reads only the topology, never the placement, so deferring the
+        # placement mutations is decision-equivalent to the per-migration
+        # interleaving while letting bursty triggers (16 migrations per
+        # layer across all layers) hit the vectorized mutation path.
+        commits: list[tuple[int, Migration]] = []
         for layer, migrations in enumerate(layer_plans):
             for migration in migrations:
                 started += 1
                 if self.invasive and not config.migration_side_channel:
                     exposed += self._migration_path_time(migration)
-                    self._commit(layer, migration)
+                    commits.append((layer, migration))
                 elif self.invasive:
-                    self._commit(layer, migration)
+                    commits.append((layer, migration))
                 else:
                     pending = split_migration(
                         self.mapping.topology,
@@ -400,6 +481,7 @@ class ServingSimulator:
                         iteration=iteration,
                     )
                     self._in_flight.append((layer, migration, pending))
+        self._commit_many(commits)
         if started:
             self._last_migration_iter = iteration
         return exposed, started
@@ -408,7 +490,7 @@ class ServingSimulator:
         """Advance non-invasive migrations through the iteration's cold windows."""
         if not self._in_flight:
             return 0
-        completed = 0
+        finished: list[tuple[int, Migration]] = []
         remaining: list[tuple[int, Migration, PendingMigration]] = []
         for layer, migration, pending in self._in_flight:
             # Local segments ride the attention all-reduce windows, the
@@ -431,12 +513,12 @@ class ServingSimulator:
                 budget = 0.5 * duration * segment.min_bandwidth
                 pending.advance(kind, budget)
             if pending.done:
-                self._commit(layer, migration)
-                completed += 1
+                finished.append((layer, migration))
             else:
                 remaining.append((layer, migration, pending))
+        self._commit_many(finished)
         self._in_flight = remaining
-        return completed
+        return len(finished)
 
     # -- stats ----------------------------------------------------------------------
 

@@ -90,5 +90,7 @@ SPEC = register(
         grid={"strategy": STRATEGY_KEYS},
         point=run_point,
         render=render,
+        # v2: per-layer all-to-all pricing in the serving engine.
+        version=2,
     )
 )

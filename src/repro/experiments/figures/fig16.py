@@ -118,6 +118,8 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             },
             point=run_point,
             render=render,
+            # v2: per-layer all-to-all pricing in the serving engine.
+            version=2,
         )
     )
 

@@ -126,6 +126,8 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             grid={"model": [model_key], "config": list(_CONFIGS)},
             point=run_point,
             render=render,
+            # v2: per-layer all-to-all pricing in the serving engine.
+            version=2,
         )
     )
 

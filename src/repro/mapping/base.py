@@ -2,9 +2,10 @@
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
+
+from repro.memo import instance_memo
 
 from repro.network.allreduce import (
     CollectiveResult,
@@ -171,7 +172,7 @@ class Mapping(ABC):
         fraction = 1.0 / len(members)
         return [(member, fraction) for member in members]
 
-    @lru_cache(maxsize=None)
+    @instance_memo("_weighted_members_memo")
     def _weighted_members_cached(
         self, group: int, dest: int
     ) -> tuple[tuple[int, float], ...]:
@@ -188,7 +189,7 @@ class Mapping(ABC):
     def _weighted_members(self, group: int, dest: int) -> list[tuple[int, float]]:
         return list(self._weighted_members_cached(group, dest))
 
-    @lru_cache(maxsize=None)
+    @instance_memo("_nearest_members_memo")
     def _nearest_members_cached(self, group: int, dest: int) -> tuple[tuple[int, float], ...]:
         members = self._tp_groups[group]
         distances = [self.topology.hops(member, dest) for member in members]
@@ -314,7 +315,7 @@ class MeshMapping(Mapping):
             return self.token_holders(group, dest)
         return self._nearest_members(group, dest)
 
-    @lru_cache(maxsize=None)
+    @instance_memo("_member_in_ftd_memo")
     def _member_in_ftd(self, group: int, ftd: int) -> int | None:
         assert self._ftds is not None
         tile = set(self._ftds[ftd])

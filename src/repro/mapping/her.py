@@ -14,9 +14,9 @@ The MoE all-to-all then fetches each token shard from its unique on-wafer
 holder, never crossing a wafer border.
 """
 
-from functools import lru_cache
 
 from repro.mapping.base import MeshMapping, ParallelismConfig, snake_order
+from repro.memo import instance_memo
 from repro.network.allreduce import CollectiveResult, _run_ring_steps
 from repro.topology.mesh import Coord, MultiWaferTopology
 
@@ -102,7 +102,7 @@ class HierarchicalERMapping(MeshMapping):
             self._mirror_holders_cached(group, self.wafer_topology.wafer_of(dest))
         )
 
-    @lru_cache(maxsize=None)
+    @instance_memo("_mirror_holders_memo")
     def _mirror_holders_cached(
         self, group: int, dest_wafer: int
     ) -> tuple[tuple[int, float], ...]:

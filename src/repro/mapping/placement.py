@@ -8,6 +8,7 @@ Algorithm 1.
 """
 
 import copy
+import hashlib
 
 import numpy as np
 
@@ -47,6 +48,7 @@ class ExpertPlacement:
         self._dest_share = np.zeros((num_experts, num_devices))
         self._shadow_mask = np.zeros((num_experts, num_devices), dtype=bool)
         self._version = 0
+        self._content_key: tuple[int, bytes] | None = None
         for expert in range(num_experts):
             device = self.native_device(expert)
             self._native[device].append(expert)
@@ -149,6 +151,24 @@ class ExpertPlacement:
         """
         return self._version
 
+    def content_key(self) -> bytes:
+        """Digest of the destination-share matrix, cached per version.
+
+        Two placements with equal keys route tokens identically, so any
+        share-driven pricing (the layer-batched all-to-all) may be shared
+        between them.  Layers of a serving stack start identical and
+        diverge only through migrations, which makes the key the natural
+        grouping handle; it is recomputed lazily, only after a mutation.
+        """
+        cached = self._content_key
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        digest = hashlib.blake2b(
+            self._dest_share.tobytes(), digest_size=16
+        ).digest()
+        self._content_key = (self._version, digest)
+        return digest
+
     def shadow_entries(self) -> list[tuple[int, int]]:
         """All ``(device, expert)`` shadow replicas, device-major order.
 
@@ -206,6 +226,70 @@ class ExpertPlacement:
         self._shadow_mask[expert, device] = False
         self._dest_share[expert] = self._matrix[expert] / self._counts[expert]
         self._version += 1
+
+    def add_replicas(self, experts: np.ndarray, devices: np.ndarray) -> None:
+        """Batched :meth:`add_replica` over parallel index arrays.
+
+        Validates every entry up front (sequential semantics: an entry
+        sees the slots and replicas of the entries before it), then applies
+        the list bookkeeping per entry but the dense tensors — replica
+        matrix, counts, shadow counts, mask, and the destination-share
+        rows — in single vectorized updates.  The final dense state is
+        bitwise identical to the sequential path (each touched share row
+        ends as ``matrix_row / count``, computed once), and the version
+        advances by the batch size.
+        """
+        experts = np.asarray(experts, dtype=np.int64)
+        devices = np.asarray(devices, dtype=np.int64)
+        if experts.size == 0:
+            return
+        pending: set[tuple[int, int]] = set()
+        pending_per_device: dict[int, int] = {}
+        for expert, device in zip(experts.tolist(), devices.tolist()):
+            self._check_expert(expert)
+            self._check_device(device)
+            if self.hosts(device, expert) or (expert, device) in pending:
+                raise ValueError(f"device {device} already hosts expert {expert}")
+            if self.shadow_free(device) - pending_per_device.get(device, 0) <= 0:
+                raise ValueError(f"device {device} has no free shadow slot")
+            pending.add((expert, device))
+            pending_per_device[device] = pending_per_device.get(device, 0) + 1
+        for expert, device in zip(experts.tolist(), devices.tolist()):
+            self._shadow[device].append(expert)
+            self._replicas[expert].append(device)
+        self._matrix[experts, devices] = 1.0
+        np.add.at(self._counts, experts, 1)
+        np.add.at(self._shadow_counts, devices, 1)
+        self._shadow_mask[experts, devices] = True
+        rows = np.unique(experts)
+        self._dest_share[rows] = self._matrix[rows] / self._counts[rows, None]
+        self._version += experts.size
+
+    def drop_replicas(self, experts: np.ndarray, devices: np.ndarray) -> None:
+        """Batched :meth:`drop_replica` (vectorized dense updates)."""
+        experts = np.asarray(experts, dtype=np.int64)
+        devices = np.asarray(devices, dtype=np.int64)
+        if experts.size == 0:
+            return
+        dropped: set[tuple[int, int]] = set()
+        for expert, device in zip(experts.tolist(), devices.tolist()):
+            self._check_expert(expert)
+            self._check_device(device)
+            if expert not in self._shadow[device] or (expert, device) in dropped:
+                raise ValueError(
+                    f"expert {expert} has no shadow replica on device {device}"
+                )
+            dropped.add((expert, device))
+        for expert, device in zip(experts.tolist(), devices.tolist()):
+            self._shadow[device].remove(expert)
+            self._replicas[expert].remove(device)
+        self._matrix[experts, devices] = 0.0
+        np.subtract.at(self._counts, experts, 1)
+        np.subtract.at(self._shadow_counts, devices, 1)
+        self._shadow_mask[experts, devices] = False
+        rows = np.unique(experts)
+        self._dest_share[rows] = self._matrix[rows] / self._counts[rows, None]
+        self._version += experts.size
 
     def reset_shadows(self) -> None:
         """Drop every shadow replica, returning to the native layout.
@@ -449,17 +533,75 @@ class StackedPlacement:
         self._versions[layer] = target.version
         self._entry_remove(layer, expert, device)
 
+    def add_replicas(
+        self,
+        layer_idx: np.ndarray,
+        expert_idx: np.ndarray,
+        device_idx: np.ndarray,
+    ) -> None:
+        """Batched :meth:`add_replica` over parallel index arrays.
+
+        Entries are grouped per touched layer (boolean masking preserves
+        their relative order, so host-order stamps come out exactly as the
+        sequential walk would assign them) and each layer's dense mirrors
+        update in one vectorized pass — bursty triggers that commit many
+        migrations at once no longer pay a per-replica dest-share rebuild.
+        """
+        layer_idx = np.asarray(layer_idx, dtype=np.int64)
+        expert_idx = np.asarray(expert_idx, dtype=np.int64)
+        device_idx = np.asarray(device_idx, dtype=np.int64)
+        for layer in np.unique(layer_idx).tolist():
+            selected = layer_idx == layer
+            experts = expert_idx[selected]
+            devices = device_idx[selected]
+            target = self._layers[layer]
+            target.add_replicas(experts, devices)
+            self._tensor[layer, experts, devices] = 1.0
+            np.add.at(self._counts[layer], experts, 1)
+            np.add.at(self._shadow_counts[layer], devices, 1)
+            self._shadow_mask[layer, experts, devices] = True
+            rows = np.unique(experts)
+            self._dest_share[layer, rows] = target._dest_share[rows]
+            self._order[layer, experts, devices] = self._order_next[
+                layer
+            ] + np.arange(experts.size)
+            self._order_next[layer] += experts.size
+            self._versions[layer] = target.version
+            for expert, device in zip(experts.tolist(), devices.tolist()):
+                self._entry_add(layer, expert, device)
+
     def drop_replicas(
         self,
         layer_idx: np.ndarray,
         expert_idx: np.ndarray,
         device_idx: np.ndarray,
     ) -> None:
-        """Batched :meth:`drop_replica` over parallel index arrays."""
-        for layer, expert, device in zip(
-            layer_idx.tolist(), expert_idx.tolist(), device_idx.tolist()
-        ):
-            self.drop_replica(layer, expert, device)
+        """Batched :meth:`drop_replica` over parallel index arrays.
+
+        Mirrors :meth:`add_replicas`: per-layer vectorized dense updates
+        (one dest-share row rebuild per touched expert) instead of
+        one-replica-at-a-time bookkeeping — the stale-eviction sweep can
+        drop dozens of replicas per trigger.
+        """
+        layer_idx = np.asarray(layer_idx, dtype=np.int64)
+        expert_idx = np.asarray(expert_idx, dtype=np.int64)
+        device_idx = np.asarray(device_idx, dtype=np.int64)
+        for layer in np.unique(layer_idx).tolist():
+            selected = layer_idx == layer
+            experts = expert_idx[selected]
+            devices = device_idx[selected]
+            target = self._layers[layer]
+            target.drop_replicas(experts, devices)
+            self._tensor[layer, experts, devices] = 0.0
+            np.subtract.at(self._counts[layer], experts, 1)
+            np.subtract.at(self._shadow_counts[layer], devices, 1)
+            self._shadow_mask[layer, experts, devices] = False
+            rows = np.unique(experts)
+            self._dest_share[layer, rows] = target._dest_share[rows]
+            self._order[layer, experts, devices] = _NO_HOST
+            self._versions[layer] = target.version
+            for expert, device in zip(experts.tolist(), devices.tolist()):
+                self._entry_remove(layer, expert, device)
 
     def reset_shadows(self) -> None:
         """Drop every shadow replica on every layer."""

@@ -16,6 +16,13 @@ gather, two multiplies, and one ``bincount``.  The plan enumerates terms in
 exactly the order the original per-entry loop visited them (kept below as
 :func:`loop_dispatch_traffic`, the reference oracle in the regression
 tests), so the aggregated volumes are bit-identical to the seed semantics.
+
+For the serving loop's layer stacks a second, layer-batched tier exists:
+:class:`LayeredAllToAllPricer` and :class:`LayeredDispatchPlan` price every
+layer's all-to-all against its own (possibly migration-diverged) placement
+through dense ``(group, dest) -> link`` operators, cached per
+``(mapping, per-layer version vector)`` — see the layer-batched pricing
+section below.
 """
 
 import weakref
@@ -24,7 +31,12 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
-from repro.network.phase import PhaseResult, simulate_phase
+from repro.network.phase import (
+    PhaseResult,
+    phase_durations_from_link_volumes,
+    route_pair_arrays,
+    simulate_phase,
+)
 from repro.network.traffic import ArrayTrafficMatrix, TrafficMatrix
 from repro.topology.base import Topology
 
@@ -172,6 +184,19 @@ class DispatchPlan:
 _PLAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
+def _sweep_dead_mappings(per_mapping: dict) -> None:
+    """Drop cache entries whose mapping weakref has expired.
+
+    Entries are keyed by ``id(mapping)``; once the mapping dies its id may
+    be recycled and, worse, the dead entry (holding a full plan) lives as
+    long as the placement does.  Sweeping on insert bounds the dict by the
+    number of *live* mappings.
+    """
+    dead = [key for key, entry in per_mapping.items() if entry[0]() is None]
+    for key in dead:
+        del per_mapping[key]
+
+
 def dispatch_plan(
     mapping: "Mapping", placement: "ExpertPlacement"
 ) -> DispatchPlan:
@@ -182,6 +207,7 @@ def dispatch_plan(
         mapping_ref, version, plan = entry
         if mapping_ref() is mapping and version == placement.version:
             return plan
+    _sweep_dead_mappings(per_mapping)
     plan = DispatchPlan(mapping, placement)
     per_mapping[id(mapping)] = (weakref.ref(mapping), placement.version, plan)
     return plan
@@ -296,3 +322,282 @@ def demand_from_counts(counts: np.ndarray, token_bytes: float) -> np.ndarray:
     if (counts < 0).any():
         raise ValueError("token counts must be >= 0")
     return counts * token_bytes
+
+# -- layer-batched pricing ---------------------------------------------------
+#
+# After migrations the layers of one model no longer share a placement, so
+# layer 0's all-to-all price stops being representative.  The machinery
+# below prices every layer against its *own* destination shares without
+# simulating L independent collectives: a per-mapping
+# :class:`LayeredAllToAllPricer` folds holder fractions and CSR route
+# weights into dense ``(group, dest) -> link`` operators once, after which
+# a whole stack of placements is priced with two matmuls per iteration.
+# The per-link volumes equal the per-layer :func:`simulate_alltoall` sums
+# mathematically (same terms, associative reordering), not bitwise —
+# bit-exactness of the pre-migration oracle is preserved structurally by
+# :class:`LayeredDispatchPlan`, which reuses the exactly-priced layer-0
+# result for every layer whose placement content still matches layer 0's.
+
+
+class LayeredAllToAllPricer:
+    """Dense link operators pricing many placements' all-to-alls at once.
+
+    For one (immutable) mapping the dispatch traffic of any placement
+    factorizes as ``T[src, dst] = sum_g frac(g, dst, src) * M[g, dst]``
+    where ``M = demand @ destination_shares`` is the only
+    placement-dependent tensor.  Contracting the holder fractions with the
+    cached CSR route weights yields ``operator[(g, d), link]`` such that
+    the per-link volumes of a whole ``(layers, experts, devices)`` share
+    stack are one ``(layers, G*D) @ (G*D, 2K)`` product — dispatch and
+    combine link blocks side by side (combine routes ``dest -> holder``).
+    Worst path latencies reduce the same way from per-cell maxima.  Memory
+    is ``O(G * D * links)``; construction walks every holder pair's route
+    once, so the pricer is built once per mapping and cached by
+    :func:`alltoall_pricer`.
+    """
+
+    def __init__(self, mapping: "Mapping") -> None:
+        topology = mapping.topology
+        self.topology = topology
+        self.num_groups = mapping.dp
+        self.num_devices = topology.num_devices
+        num_links = len(topology.links)
+        self.num_links = num_links
+        self._table = mapping.token_holder_table()
+
+        groups, devices = self.num_groups, self.num_devices
+        operator = np.zeros((groups, devices, 2 * num_links))
+        cell_latency = np.zeros((2, groups, devices))
+        for group in range(groups):
+            for dest in range(devices):
+                for holder, fraction in self._table.entries(group, dest):
+                    if holder == dest:
+                        continue
+                    idx, weights, latency = route_pair_arrays(
+                        topology, holder, dest
+                    )
+                    operator[group, dest, idx] += fraction * weights
+                    if latency > cell_latency[0, group, dest]:
+                        cell_latency[0, group, dest] = latency
+                    idx, weights, latency = route_pair_arrays(
+                        topology, dest, holder
+                    )
+                    operator[group, dest, num_links + idx] += fraction * weights
+                    if latency > cell_latency[1, group, dest]:
+                        cell_latency[1, group, dest] = latency
+        self.operator = operator.reshape(groups * devices, 2 * num_links)
+        #: (2, groups, devices) worst path latency over a cell's holder
+        #: pairs — dispatch row 0, combine row 1.
+        self.cell_latency = cell_latency
+        #: (2, devices) worst latency per destination column, for the
+        #: dense-demand fast path (active cells = hosted columns).
+        self.column_latency = cell_latency.max(axis=1)
+        self._holder_tensor: np.ndarray | None = None
+
+    def link_volumes(
+        self, demand_bytes: np.ndarray, shares: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Destination cells and per-link volumes for a share stack.
+
+        Args:
+            demand_bytes: ``(groups, experts)`` byte demand, shared by all
+                layers (the serving loop resolves DP groups on layer 0).
+            shares: ``(layers, experts, devices)`` destination-share stack.
+
+        Returns:
+            ``(cells, volumes)`` with cells ``(layers, groups, devices)``
+            and volumes ``(layers, 2, num_links)`` in route-cache link
+            order (dispatch phase first).
+        """
+        cells = np.matmul(demand_bytes, shares)
+        flat = cells.reshape(shares.shape[0], -1)
+        volumes = (flat @ self.operator).reshape(
+            shares.shape[0], 2, self.num_links
+        )
+        return cells, volumes
+
+    def dense_demand_latencies(self, shares: np.ndarray) -> np.ndarray:
+        """Worst path latencies per (layer, phase) under dense demand.
+
+        Dense demand activates exactly the hosted destination columns, so
+        the latency reduction collapses to per-column maxima — and depends
+        only on the share stack, letting plans precompute it once per
+        placement epoch instead of per iteration.
+        """
+        hosted = shares.any(axis=1)
+        return np.where(
+            hosted[:, None, :], self.column_latency[None], 0.0
+        ).max(axis=2)
+
+    def durations(
+        self,
+        demand_bytes: np.ndarray,
+        shares: np.ndarray,
+        dense_latencies: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Dispatch+combine durations per layer: ``(layers,)`` seconds.
+
+        Each layer's phases follow :func:`simulate_phase`'s cut-through
+        semantics (busiest-link drain plus worst active path latency),
+        with the per-link sums evaluated in batched operator order.
+        ``dense_latencies`` may carry :meth:`dense_demand_latencies` of the
+        same share stack; it is only consulted when the demand is actually
+        dense (zero cells deactivate pairs, shrinking the latency max).
+        """
+        cells, volumes = self.link_volumes(demand_bytes, shares)
+        if (demand_bytes > 0).all():
+            if dense_latencies is None:
+                dense_latencies = self.dense_demand_latencies(shares)
+            latencies = dense_latencies
+        else:
+            # Zero demand cells deactivate their holder pairs; reduce each
+            # phase separately so the temporary stays (layers, G, D) — the
+            # big-expert figure models (mean tokens/expert ~4) draw zero
+            # cells nearly every iteration, making this the common path.
+            active = cells > 0
+            latencies = np.stack(
+                [
+                    np.where(active, self.cell_latency[0], 0.0).max(axis=(1, 2)),
+                    np.where(active, self.cell_latency[1], 0.0).max(axis=(1, 2)),
+                ],
+                axis=1,
+            )
+        durations = phase_durations_from_link_volumes(
+            self.topology, volumes, latencies
+        )
+        return durations.sum(axis=1)
+
+    def traffic_tensor(
+        self, demand_bytes: np.ndarray, shares: np.ndarray
+    ) -> np.ndarray:
+        """Dense ``(layers, devices, devices)`` dispatch traffic tensor.
+
+        Entry ``[l, src, dst]`` is the byte volume device ``src`` sends to
+        ``dst`` in layer ``l``'s dispatch; combine is its transpose.  The
+        hot path never materializes this (links aggregate straight off the
+        operator); it backs the regression tests against the per-layer
+        :class:`DispatchPlan` oracle.
+        """
+        holders = self._holder_fraction_tensor()
+        cells = np.matmul(demand_bytes, shares)
+        return np.einsum("gdh,lgd->lhd", holders, cells)
+
+    def _holder_fraction_tensor(self) -> np.ndarray:
+        """(groups, dest, holder) fraction tensor, self-fetches zeroed."""
+        if self._holder_tensor is None:
+            tensor = np.zeros(
+                (self.num_groups, self.num_devices, self.num_devices)
+            )
+            for group in range(self.num_groups):
+                for dest in range(self.num_devices):
+                    for holder, fraction in self._table.entries(group, dest):
+                        if holder != dest:
+                            tensor[group, dest, holder] = fraction
+            self._holder_tensor = tensor
+        return self._holder_tensor
+
+
+#: mapping -> LayeredAllToAllPricer, weakly keyed (pricers die with their
+#: mapping; the route cache they fold lives on the topology regardless).
+_PRICER_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def alltoall_pricer(mapping: "Mapping") -> LayeredAllToAllPricer:
+    """The cached layer-batched pricer for this mapping."""
+    pricer = _PRICER_CACHE.get(mapping)
+    if pricer is None:
+        pricer = LayeredAllToAllPricer(mapping)
+        _PRICER_CACHE[mapping] = pricer
+    return pricer
+
+
+class LayeredDispatchPlan:
+    """Content-grouped pricing plan for one stack of per-layer placements.
+
+    Layers are grouped by placement *content* (the destination-share
+    digest from :meth:`~repro.mapping.placement.ExpertPlacement.content_key`):
+    every layer in layer 0's group reuses the serving loop's exactly-priced
+    layer-0 all-to-all — before any migration that is all layers, which
+    keeps the pre-migration trace bit-identical to the layer-0-broadcast
+    oracle — while each remaining group is priced once against its own
+    destination shares through the dense :class:`LayeredAllToAllPricer`.
+    The grouping and the stacked share tensor are iteration-invariant, so
+    :func:`layered_dispatch_plan` caches the plan per
+    ``(mapping, per-layer version vector)`` and migration-free iterations
+    never rebuild it.
+    """
+
+    def __init__(self, mapping: "Mapping", placements: list) -> None:
+        self.pricer = alltoall_pricer(mapping)
+        group_of_key: dict[bytes, int] = {}
+        representatives: list[int] = []
+        group_index = np.empty(len(placements), dtype=np.intp)
+        for layer, placement in enumerate(placements):
+            key = placement.content_key()
+            group = group_of_key.get(key)
+            if group is None:
+                group = len(representatives)
+                group_of_key[key] = group
+                representatives.append(layer)
+            group_index[layer] = group
+        self.num_groups = len(representatives)
+        self.group_index = group_index
+        self.representatives = representatives
+        #: True when every layer still shares layer 0's placement content —
+        #: the caller can skip pricing entirely and broadcast layer 0.
+        self.uniform = self.num_groups == 1
+        if not self.uniform:
+            # Group 0 anchors layer 0 (first-occurrence numbering); only
+            # the diverged groups need the dense pricer.  Shares and the
+            # dense-demand latency maxima are iteration-invariant, so both
+            # are frozen into the plan.
+            self.diverged_shares = np.stack(
+                [
+                    placements[layer].destination_shares
+                    for layer in representatives[1:]
+                ]
+            )
+            self._dense_latencies = self.pricer.dense_demand_latencies(
+                self.diverged_shares
+            )
+
+    def alltoall_durations(
+        self, demand_bytes: np.ndarray, layer0_duration: float
+    ) -> np.ndarray:
+        """Per-layer dispatch+combine durations, ``(num_layers,)``.
+
+        ``layer0_duration`` is the exact :func:`simulate_alltoall` price of
+        layer 0, reused verbatim for its whole content group.
+        """
+        per_group = np.empty(self.num_groups)
+        per_group[0] = layer0_duration
+        if not self.uniform:
+            per_group[1:] = self.pricer.durations(
+                demand_bytes, self.diverged_shares, self._dense_latencies
+            )
+        return per_group[self.group_index]
+
+
+#: anchor placement -> {id(mapping): (mapping weakref, version vector, plan)}.
+#: The anchor is the StackedPlacement (stacked engine) or layer 0's
+#: ExpertPlacement (per-layer engine); the version vector — one counter per
+#: layer — invalidates the grouping exactly when a migration or eviction
+#: mutates any layer.
+_LAYERED_PLAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def layered_dispatch_plan(
+    mapping: "Mapping", anchor, placements: list
+) -> LayeredDispatchPlan:
+    """The cached layered plan for this (mapping, stacked version vector)."""
+    per_mapping = _LAYERED_PLAN_CACHE.setdefault(anchor, {})
+    versions = tuple(placement.version for placement in placements)
+    entry = per_mapping.get(id(mapping))
+    if entry is not None:
+        mapping_ref, cached_versions, plan = entry
+        if mapping_ref() is mapping and cached_versions == versions:
+            return plan
+    _sweep_dead_mappings(per_mapping)
+    plan = LayeredDispatchPlan(mapping, placements)
+    per_mapping[id(mapping)] = (weakref.ref(mapping), versions, plan)
+    return plan

@@ -163,6 +163,37 @@ def migration_route_arrays(
     return _route_cache(topology).migration_pair(src, dst)
 
 
+def route_pair_arrays(
+    topology: Topology, src: int, dst: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Cached (link indices, per-byte link weights, path latency) for a pair.
+
+    The same CSR route rows :func:`simulate_phase` charges flows with —
+    O1TURN splitting pre-merged into the weights — exposed so layer-batched
+    all-to-all pricing can fold them into dense link operators.  Treat the
+    returned arrays as frozen.
+    """
+    return _route_cache(topology).pair(src, dst)
+
+
+def phase_durations_from_link_volumes(
+    topology: Topology,
+    link_volumes: np.ndarray,
+    worst_latencies: np.ndarray,
+) -> np.ndarray:
+    """Batched cut-through durations from precomputed per-link volumes.
+
+    Applies the same Eq. 1 semantics as :func:`simulate_phase` — busiest
+    link's drain time plus the worst active flow's cumulative hop latency —
+    over any leading batch axes (the layer axis of a stacked serving
+    iteration).  ``link_volumes`` has shape ``(..., num_links)`` in route
+    cache link order; ``worst_latencies`` broadcasts against the leading
+    axes.
+    """
+    serialization = (link_volumes / _route_cache(topology).bandwidth).max(axis=-1)
+    return serialization + worst_latencies
+
+
 def simulate_phase(
     topology: Topology,
     flows: TrafficMatrix | ArrayTrafficMatrix | list[Flow],

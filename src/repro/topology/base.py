@@ -8,7 +8,9 @@ deterministic single-path routing function.  Devices always occupy node ids
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from functools import lru_cache
+
+from repro.memo import instance_memo
+
 
 
 @dataclass(frozen=True)
@@ -113,9 +115,15 @@ class Topology(ABC):
 
 
 class CachedRoutingMixin:
-    """Memoise ``route`` — topologies are immutable after construction."""
+    """Memoise ``route`` — topologies are immutable after construction.
 
-    @lru_cache(maxsize=None)
+    Memoization is per instance (see :mod:`repro.memo`): an ``lru_cache``
+    here would pin every topology — and its phase route cache — alive for
+    the process lifetime, defeating the weakref-keyed caches layered on
+    mappings above.
+    """
+
+    @instance_memo("_route_memo")
     def _cached_route(self, src: int, dst: int):  # pragma: no cover - trivial
         return tuple(self._route_impl(src, dst))
 

@@ -7,9 +7,10 @@ deadlock-free choice for wafer meshes.
 """
 
 from dataclasses import dataclass
-from functools import lru_cache
+
 
 from repro.hardware.interconnect import WSC_CROSS_WAFER, WSC_LINK, InterconnectSpec
+from repro.memo import instance_memo
 from repro.topology.base import CachedRoutingMixin, Link, Topology
 
 
@@ -131,7 +132,7 @@ class MeshTopology(CachedRoutingMixin, Topology):
         """Dimension-ordered XY routing: rows first, then columns."""
         return self._walk(src, dst, rows_first=True)
 
-    @lru_cache(maxsize=None)
+    @instance_memo("_alternate_route_memo")
     def _alternate_route_cached(self, src: int, dst: int) -> tuple[Link, ...]:
         return tuple(self._walk(src, dst, rows_first=False))
 

@@ -71,6 +71,7 @@ def assert_traces_identical(stacked_sim, per_layer_sim):
     for ours, ref in zip(stacked_trace.records, oracle_trace.records):
         assert ours.iteration == ref.iteration
         assert ours.latency == ref.latency, f"iter {ref.iteration}"
+        assert ours.alltoall_mean == ref.alltoall_mean, f"iter {ref.iteration}"
         assert ours.max_device_load == ref.max_device_load, f"iter {ref.iteration}"
         assert ours.mean_device_load == ref.mean_device_load, f"iter {ref.iteration}"
         assert ours.migration_exposed == ref.migration_exposed, f"iter {ref.iteration}"

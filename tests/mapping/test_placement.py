@@ -262,3 +262,181 @@ class TestStackedPlacement:
             )
         ]
         assert hosted == stacked.layer(0).experts_on(0)
+
+
+class TestContentKey:
+    def test_equal_content_equal_key(self):
+        a = ExpertPlacement(16, 8, shadow_slots=2)
+        b = ExpertPlacement(16, 8, shadow_slots=2)
+        assert a.content_key() == b.content_key()
+        a.add_replica(0, 7)
+        assert a.content_key() != b.content_key()
+        b.add_replica(0, 7)
+        assert a.content_key() == b.content_key()
+
+    def test_key_tracks_mutation_history_not_version(self):
+        """Add + drop returns to native content; the key must follow the
+        content (shares), not the version counter."""
+        placement = ExpertPlacement(16, 8, shadow_slots=2)
+        native = placement.content_key()
+        placement.add_replica(0, 7)
+        assert placement.content_key() != native
+        placement.drop_replica(0, 7)
+        assert placement.content_key() == native
+        assert placement.version == 2
+
+    def test_key_cached_per_version(self):
+        placement = ExpertPlacement(16, 8)
+        first = placement.content_key()
+        assert placement.content_key() is first
+
+
+class TestBatchedMutations:
+    """add_replicas/drop_replicas end in the sequential path's exact state."""
+
+    def mutation_batch(self, seed, placement, size=12):
+        rng = np.random.default_rng(seed)
+        experts, devices = [], []
+        while len(experts) < size:
+            expert = int(rng.integers(placement.num_experts))
+            device = int(rng.integers(placement.num_devices))
+            if (
+                not placement.hosts(device, expert)
+                and (expert, device) not in zip(experts, devices)
+                and devices.count(device)
+                < placement.shadow_free(device)
+            ):
+                experts.append(expert)
+                devices.append(device)
+        return np.array(experts), np.array(devices)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_add_replicas_matches_sequential(self, seed):
+        batched = ExpertPlacement(24, 16, shadow_slots=2)
+        sequential = ExpertPlacement(24, 16, shadow_slots=2)
+        experts, devices = self.mutation_batch(seed, batched)
+        batched.add_replicas(experts, devices)
+        for expert, device in zip(experts.tolist(), devices.tolist()):
+            sequential.add_replica(expert, device)
+        assert batched.version == sequential.version
+        np.testing.assert_array_equal(
+            batched.replica_matrix, sequential.replica_matrix
+        )
+        np.testing.assert_array_equal(
+            batched.destination_shares, sequential.destination_shares
+        )
+        np.testing.assert_array_equal(
+            batched.shadow_counts, sequential.shadow_counts
+        )
+        for expert in range(24):
+            assert batched.replicas(expert) == sequential.replicas(expert)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_drop_replicas_matches_sequential(self, seed):
+        batched = ExpertPlacement(24, 16, shadow_slots=2)
+        experts, devices = self.mutation_batch(seed, batched)
+        batched.add_replicas(experts, devices)
+        sequential = batched.clone()
+        batched.drop_replicas(experts, devices)
+        for expert, device in zip(experts.tolist(), devices.tolist()):
+            sequential.drop_replica(expert, device)
+        assert batched.version == sequential.version
+        np.testing.assert_array_equal(
+            batched.replica_matrix, sequential.replica_matrix
+        )
+        np.testing.assert_array_equal(
+            batched.destination_shares, sequential.destination_shares
+        )
+        for expert in range(24):
+            assert batched.replicas(expert) == sequential.replicas(expert)
+
+    def test_add_replicas_validates_capacity_across_batch(self):
+        placement = ExpertPlacement(16, 8, shadow_slots=1)
+        with pytest.raises(ValueError, match="shadow slot"):
+            placement.add_replicas(np.array([0, 1]), np.array([7, 7]))
+
+    def test_add_replicas_rejects_duplicate_entry(self):
+        placement = ExpertPlacement(16, 8, shadow_slots=2)
+        with pytest.raises(ValueError, match="already hosts"):
+            placement.add_replicas(np.array([0, 0]), np.array([7, 7]))
+
+    def test_drop_replicas_rejects_missing_replica(self):
+        placement = ExpertPlacement(16, 8, shadow_slots=2)
+        with pytest.raises(ValueError, match="no shadow replica"):
+            placement.drop_replicas(np.array([0]), np.array([7]))
+
+    def test_empty_batches_are_noops(self):
+        placement = ExpertPlacement(16, 8)
+        version = placement.version
+        placement.add_replicas(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        placement.drop_replicas(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert placement.version == version
+
+
+class TestStackedBatchedMutations:
+    def build_batch(self, seed, stacked, size=20):
+        rng = np.random.default_rng(seed)
+        layers, experts, devices = [], [], []
+        while len(layers) < size:
+            layer = int(rng.integers(stacked.num_layers))
+            expert = int(rng.integers(stacked.num_experts))
+            device = int(rng.integers(stacked.num_devices))
+            target = stacked.layer(layer)
+            taken = sum(
+                1 for l, _e, d in zip(layers, experts, devices)
+                if l == layer and d == device
+            )
+            if (
+                not target.hosts(device, expert)
+                and (layer, expert, device) not in zip(layers, experts, devices)
+                and target.shadow_free(device) - taken > 0
+            ):
+                layers.append(layer)
+                experts.append(expert)
+                devices.append(device)
+        return np.array(layers), np.array(experts), np.array(devices)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_add_replicas_matches_sequential(self, seed):
+        batched = StackedPlacement(4, 16, 8, shadow_slots=2)
+        sequential = StackedPlacement(4, 16, 8, shadow_slots=2)
+        layers, experts, devices = self.build_batch(seed, batched)
+        batched.add_replicas(layers, experts, devices)
+        for layer, expert, device in zip(
+            layers.tolist(), experts.tolist(), devices.tolist()
+        ):
+            sequential.add_replica(layer, expert, device)
+        batched.check_synced()
+        np.testing.assert_array_equal(batched.versions, sequential.versions)
+        np.testing.assert_array_equal(
+            batched.replica_tensor, sequential.replica_tensor
+        )
+        np.testing.assert_array_equal(
+            batched.destination_shares, sequential.destination_shares
+        )
+        np.testing.assert_array_equal(batched.host_order, sequential.host_order)
+        assert [
+            array.tolist() for array in batched.shadow_entry_arrays()
+        ] == [array.tolist() for array in sequential.shadow_entry_arrays()]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_drop_replicas_matches_sequential(self, seed):
+        batched = StackedPlacement(4, 16, 8, shadow_slots=2)
+        layers, experts, devices = self.build_batch(seed, batched)
+        batched.add_replicas(layers, experts, devices)
+        sequential = StackedPlacement(4, 16, 8, shadow_slots=2)
+        sequential.add_replicas(layers, experts, devices)
+        batched.drop_replicas(layers, experts, devices)
+        for layer, expert, device in zip(
+            layers.tolist(), experts.tolist(), devices.tolist()
+        ):
+            sequential.drop_replica(layer, expert, device)
+        batched.check_synced()
+        np.testing.assert_array_equal(batched.versions, sequential.versions)
+        np.testing.assert_array_equal(
+            batched.replica_tensor, sequential.replica_tensor
+        )
+        np.testing.assert_array_equal(
+            batched.destination_shares, sequential.destination_shares
+        )
+        np.testing.assert_array_equal(batched.host_order, sequential.host_order)

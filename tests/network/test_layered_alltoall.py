@@ -1,0 +1,207 @@
+"""Layer-batched all-to-all pricing against the per-layer oracle.
+
+The :class:`LayeredAllToAllPricer` aggregates per-link volumes through
+dense ``(group, dest) -> link`` operators — the same terms the per-layer
+:class:`DispatchPlan` + :func:`simulate_phase` pipeline sums, in a
+different associative order — so traffic tensors and phase durations are
+pinned to the exact path with tight relative tolerances, while the
+structural guarantees (layer-0 group reuses the exact price verbatim,
+uniform stacks skip pricing entirely) are asserted bitwise.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.mapping.base import ParallelismConfig
+from repro.mapping.er import ERMapping
+from repro.mapping.placement import ExpertPlacement
+from repro.network.alltoall import (
+    _LAYERED_PLAN_CACHE,
+    LayeredDispatchPlan,
+    alltoall_pricer,
+    dispatch_plan,
+    layered_dispatch_plan,
+    simulate_alltoall,
+    uniform_demand,
+)
+from repro.topology.mesh import MeshTopology
+
+TIGHT = dict(rtol=1e-12, atol=0.0)
+
+
+@pytest.fixture
+def mapping():
+    return ERMapping(
+        MeshTopology(4, 4), ParallelismConfig(tp=4, dp=4, tp_shape=(2, 2))
+    )
+
+
+def diverged_placements(num_layers=5, num_experts=16, num_devices=16):
+    """A placement stack with layers 2 and 4 mutated away from native."""
+    placements = [
+        ExpertPlacement(num_experts, num_devices, shadow_slots=2)
+        for _ in range(num_layers)
+    ]
+    placements[2].add_replica(0, 15)
+    placements[2].add_replica(5, 9)
+    placements[4].add_replica(3, 12)
+    return placements
+
+
+def dense_traffic_oracle(mapping, demand, placement):
+    """Per-layer DispatchPlan traffic scattered into a dense matrix."""
+    traffic = dispatch_plan(mapping, placement).traffic(demand)
+    dense = np.zeros((placement.num_devices, placement.num_devices))
+    dense[traffic.src, traffic.dst] = traffic.volume
+    return dense
+
+
+def shares_stack(placements):
+    return np.stack([p.destination_shares for p in placements])
+
+
+class TestPricerAgainstPerLayerOracle:
+    def test_traffic_tensor_matches_dispatch_plans(self, mapping):
+        placements = diverged_placements()
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        tensor = alltoall_pricer(mapping).traffic_tensor(
+            demand, shares_stack(placements)
+        )
+        for layer, placement in enumerate(placements):
+            np.testing.assert_allclose(
+                tensor[layer], dense_traffic_oracle(mapping, demand, placement),
+                **TIGHT,
+            )
+
+    def test_traffic_tensor_sparse_demand(self, mapping):
+        placements = diverged_placements()
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        demand[1, :] = 0.0
+        demand[:, 7] = 0.0
+        tensor = alltoall_pricer(mapping).traffic_tensor(
+            demand, shares_stack(placements)
+        )
+        for layer, placement in enumerate(placements):
+            np.testing.assert_allclose(
+                tensor[layer], dense_traffic_oracle(mapping, demand, placement),
+                **TIGHT,
+            )
+
+    def test_link_volumes_match_phase_oracle(self, mapping):
+        placements = diverged_placements()
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        pricer = alltoall_pricer(mapping)
+        _cells, volumes = pricer.link_volumes(demand, shares_stack(placements))
+        keys = list(mapping.topology.links)
+        for layer, placement in enumerate(placements):
+            result = simulate_alltoall(mapping.topology, demand, placement, mapping)
+            for phase, phase_result in enumerate((result.dispatch, result.combine)):
+                expected = np.zeros(len(keys))
+                for position, key in enumerate(keys):
+                    expected[position] = phase_result.link_bytes.get(key, 0.0)
+                np.testing.assert_allclose(
+                    volumes[layer, phase], expected, rtol=1e-12, atol=1e-9
+                )
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_durations_match_per_layer_simulation(self, mapping, sparse):
+        placements = diverged_placements()
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        if sparse:
+            demand[0, 3] = 0.0
+            demand[2, :8] = 0.0
+        durations = alltoall_pricer(mapping).durations(
+            demand, shares_stack(placements)
+        )
+        for layer, placement in enumerate(placements):
+            exact = simulate_alltoall(
+                mapping.topology, demand, placement, mapping
+            ).duration
+            assert durations[layer] == pytest.approx(exact, rel=1e-12)
+
+    def test_dense_latencies_precompute_matches(self, mapping):
+        placements = diverged_placements()
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        pricer = alltoall_pricer(mapping)
+        shares = shares_stack(placements)
+        fresh = pricer.durations(demand, shares)
+        cached = pricer.durations(
+            demand, shares, pricer.dense_demand_latencies(shares)
+        )
+        np.testing.assert_array_equal(fresh, cached)
+
+
+class TestLayeredPlan:
+    def test_uniform_stack_broadcasts_layer0_verbatim(self, mapping):
+        placements = [ExpertPlacement(16, 16) for _ in range(4)]
+        plan = LayeredDispatchPlan(mapping, placements)
+        assert plan.uniform
+        durations = plan.alltoall_durations(
+            uniform_demand(4, 16, 256, 8, 100), layer0_duration=1.25e-5
+        )
+        assert durations.tolist() == [1.25e-5] * 4
+
+    def test_groups_split_on_divergence(self, mapping):
+        placements = diverged_placements()
+        plan = LayeredDispatchPlan(mapping, placements)
+        assert not plan.uniform
+        assert plan.num_groups == 3
+        # Layers 0, 1, 3 still share layer 0's content group.
+        assert plan.group_index.tolist() == [0, 0, 1, 0, 2]
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        layer0 = simulate_alltoall(
+            mapping.topology, demand, placements[0], mapping
+        ).duration
+        durations = plan.alltoall_durations(demand, layer0)
+        assert durations[0] == layer0
+        assert durations[1] == layer0
+        assert durations[3] == layer0
+        # Diverged layers price against their own placements.
+        for layer in (2, 4):
+            exact = simulate_alltoall(
+                mapping.topology, demand, placements[layer], mapping
+            ).duration
+            assert durations[layer] != layer0
+            assert durations[layer] == pytest.approx(exact, rel=1e-12)
+
+    def test_content_equal_layers_share_a_group(self, mapping):
+        placements = [ExpertPlacement(16, 16, shadow_slots=2) for _ in range(4)]
+        placements[1].add_replica(0, 15)
+        placements[3].add_replica(0, 15)
+        plan = LayeredDispatchPlan(mapping, placements)
+        assert plan.num_groups == 2
+        assert plan.group_index.tolist() == [0, 1, 0, 1]
+        durations = plan.alltoall_durations(
+            uniform_demand(4, 16, 256, 8, 100), layer0_duration=3.0e-6
+        )
+        assert durations[1] == durations[3]
+
+
+class TestLayeredPlanCache:
+    def test_hit_until_any_layer_mutates(self, mapping):
+        placements = diverged_placements()
+        anchor = placements[0]
+        plan = layered_dispatch_plan(mapping, anchor, placements)
+        assert layered_dispatch_plan(mapping, anchor, placements) is plan
+        placements[1].add_replica(2, 14)
+        rebuilt = layered_dispatch_plan(mapping, anchor, placements)
+        assert rebuilt is not plan
+        assert not rebuilt.uniform
+
+    def test_dead_mapping_entries_swept_on_insert(self):
+        topology = MeshTopology(4, 4)
+        parallelism = ParallelismConfig(tp=4, dp=4, tp_shape=(2, 2))
+        placements = [ExpertPlacement(16, 16) for _ in range(2)]
+        anchor = placements[0]
+        dead = ERMapping(topology, parallelism)
+        layered_dispatch_plan(dead, anchor, placements)
+        assert len(_LAYERED_PLAN_CACHE[anchor]) == 1
+        del dead
+        gc.collect()
+        live = ERMapping(topology, parallelism)
+        layered_dispatch_plan(live, anchor, placements)
+        entries = _LAYERED_PLAN_CACHE[anchor]
+        assert len(entries) == 1
+        assert next(iter(entries.values()))[0]() is live
