@@ -3,7 +3,9 @@
 Thin wrapper over the uncacheable ``serving_speed`` spec in
 ``repro.experiments.figures.serving_speed``: 64 devices (8x8 wafer), a
 64-expert Qwen3 variant, 300 serving iterations per balancer at proxy (2)
-and full DeepSeek-V3 (58) layer depth.  Run standalone with
+and full DeepSeek-V3 (58) layer depth, swept over the (pricing, demand)
+mode axis — layer-0 broadcast, per-layer placement pricing, and
+demand-resolved per-layer pricing.  Run standalone with
 ``python -m repro.experiments run serving_speed``, or directly —
 
     python benchmarks/bench_serving_speed.py --layers 2,58,94

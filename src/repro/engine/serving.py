@@ -20,20 +20,26 @@ the stacked engine against (same workload stream in, same trace out), and
 the automatic fallback for custom balancer subclasses with no stacked
 equivalent.
 
-Communication is priced per layer: layer 0 gets the full network
-simulation, and every other layer's MoE phase combines its own compute
-roofline with its own all-to-all price — layers whose placement content
-still matches layer 0 reuse its exactly-simulated collectives (so
-migration-free traces are bit-identical to the historical layer-0
-broadcast, which survives behind
-``ServingConfig(per_layer_alltoall=False)`` as the oracle), while
-migration-diverged layers are priced against their own destination shares
-through the layer-batched
-:class:`~repro.network.alltoall.LayeredDispatchPlan`.  Note that *traces* are not comparable with pre-stacked
-releases under either engine: the loop now samples the workload through
-:meth:`~repro.workload.gating.GatingSimulator.next_loads`, which consumes
-the RNG stream differently (equally distributed, fewer draws) than the
-seed's ``next_counts``.
+Communication is priced per layer in both *placement* and *demand*: layer
+0 gets the full network simulation, and every other layer's MoE phase
+combines its own compute roofline with its own all-to-all price.  By
+default (``ServingConfig(per_layer_demand=True)``) the workload resolves
+group-level gating counts for every layer
+(:meth:`~repro.workload.gating.GatingSimulator.next_group_counts`), so
+each layer is priced against its own demand rows *and* its own
+destination shares through the layer-batched
+:class:`~repro.network.alltoall.LayeredDispatchPlan` — per-layer demand
+skew reaches the pricer instead of broadcasting layer 0's rows.  With
+``per_layer_demand=False`` the loop samples
+:meth:`~repro.workload.gating.GatingSimulator.next_loads` and restores the
+PR 4 demand-broadcast semantics bit-identically: layers whose placement
+content still matches layer 0 reuse its exactly-simulated collectives, and
+only migration-diverged layers are priced (against layer 0's demand).
+``ServingConfig(per_layer_alltoall=False)`` further restores the plain
+layer-0-broadcast pricing of earlier releases.  Note that *traces* are not
+comparable across these modes or with pre-stacked releases: each samples
+the workload RNG stream differently (equally distributed layer totals,
+different draw counts).
 """
 
 from dataclasses import dataclass, field
@@ -80,6 +86,24 @@ class ServingConfig:
             either way).  Disable to restore the layer-0-broadcast pricing
             of earlier releases — the pre-migration oracle the regression
             tests pin against.
+        per_layer_demand: resolve group-level gating demand for *every*
+            layer (via :meth:`~repro.workload.gating.GatingSimulator.
+            next_group_counts`) and price each layer's all-to-all against
+            its own demand rows, so per-layer demand skew — not just
+            placement divergence — reaches the pricer.  Only takes effect
+            together with ``per_layer_alltoall`` on a multi-layer stack;
+            disable to restore the demand-broadcast path of PR 4 (layer 0's
+            demand rows priced against every layer's placement), which the
+            regression tests pin bit-identically.
+        record_broadcast_price: under resolved demand, also price each
+            iteration through the PR 4 demand-broadcast path and record it
+            as :attr:`IterationRecord.alltoall_broadcast` — the companion
+            that isolates demand skew from placement divergence in the
+            communication bill.  Off by default because it adds a second
+            pricer pass per diverged iteration (the figure specs turn it
+            on; the wall-clock-gated serving benchmark keeps it off).  When
+            off, resolved runs record NaN; demand-broadcast runs always
+            record their own (free) price.
     """
 
     num_iterations: int = 150
@@ -89,6 +113,8 @@ class ServingConfig:
     shadow_slots: int = 1
     migration_side_channel: bool = False
     per_layer_alltoall: bool = True
+    per_layer_demand: bool = True
+    record_broadcast_price: bool = False
 
     def __post_init__(self) -> None:
         if self.num_iterations <= 0:
@@ -104,10 +130,21 @@ class IterationRecord:
     iteration: int
     latency: float
     breakdown: IterationBreakdown
-    #: Mean per-layer all-to-all duration across simulated layers.  Equals
+    #: Mean per-layer all-to-all duration across simulated layers, under
+    #: whichever demand mode the run uses.  With broadcast demand it equals
     #: ``breakdown.alltoall`` (layer 0's price) exactly while every layer
-    #: shares layer 0's placement content or per-layer pricing is off.
+    #: shares layer 0's placement content or per-layer pricing is off;
+    #: with resolved demand each layer prices its own demand rows, so it
+    #: diverges from the broadcast price from the first iteration.
     alltoall_mean: float
+    #: Mean per-layer all-to-all duration under the PR 4 demand-broadcast
+    #: semantics (layer 0's demand rows against every layer's placement).
+    #: Equals :attr:`alltoall_mean` whenever ``per_layer_demand`` is off —
+    #: under resolved demand it is the companion price that isolates how
+    #: much of the communication bill is demand skew vs placement, priced
+    #: only when ``ServingConfig.record_broadcast_price`` asks for it (NaN
+    #: otherwise).
+    alltoall_broadcast: float
     max_device_load: float
     mean_device_load: float
     migration_exposed: float
@@ -161,6 +198,8 @@ class ServingTrace:
                 values.append(record.breakdown.moe.memory)
             elif component == "alltoall":
                 values.append(record.alltoall_mean)
+            elif component == "alltoall_broadcast":
+                values.append(record.alltoall_broadcast)
             elif component == "alltoall_layer0":
                 values.append(record.breakdown.alltoall)
             elif component == "allreduce":
@@ -312,11 +351,29 @@ class ServingSimulator:
             trace.records.append(self._step())
         return trace
 
+    @property
+    def _demand_resolved(self) -> bool:
+        """Whether this run resolves per-layer group demand for pricing."""
+        return (
+            self.serving_config.per_layer_demand
+            and self.serving_config.per_layer_alltoall
+            and self.num_layers > 1
+        )
+
     def _step(self) -> IterationRecord:
         iteration = self.workload.iteration
-        # Group-resolved counts only for layer 0 (the one whose all-to-all
-        # is simulated); per-expert totals for every layer.
-        counts0, layer_loads = self.workload.next_loads()
+        counts = None
+        if self._demand_resolved:
+            # Group-resolved demand for every layer: layer 0 exact, later
+            # layers split from their exact totals (flat selection-slot
+            # model) so per-layer demand skew reaches the pricer.
+            counts = self.workload.next_group_counts()
+            counts0 = counts[0]
+            layer_loads = counts.sum(axis=1)
+        else:
+            # Group-resolved counts only for layer 0 (the one whose
+            # all-to-all is simulated); per-expert totals for every layer.
+            counts0, layer_loads = self.workload.next_loads()
 
         if self.stacked:
             self.engine.observe(layer_loads)
@@ -336,11 +393,29 @@ class ServingSimulator:
         breakdown = sim.breakdown
 
         a2a_layers = None
+        a2a_broadcast_layers = None
         if self.serving_config.per_layer_alltoall and self.num_layers > 1:
             plan = layered_dispatch_plan(
                 self.mapping, self._plan_anchor(), self.layer_placements()
             )
-            if not plan.uniform:
+            if counts is not None:
+                # Resolved demand: every later layer is priced against its
+                # own demand rows and its own placement.  On request the
+                # PR 4 demand-broadcast price rides along as the companion
+                # component (its content grouping still collapses layers,
+                # so it only prices diverged placement groups).
+                demand_stack = counts * self.model.token_bytes
+                a2a_layers = plan.alltoall_durations_resolved(
+                    demand_stack, breakdown.alltoall
+                )
+                if (
+                    self.serving_config.record_broadcast_price
+                    and not plan.uniform
+                ):
+                    a2a_broadcast_layers = plan.alltoall_durations(
+                        demand_stack[0], breakdown.alltoall
+                    )
+            elif not plan.uniform:
                 demand = counts0 * self.model.token_bytes
                 a2a_layers = plan.alltoall_durations(demand, breakdown.alltoall)
 
@@ -387,6 +462,16 @@ class ServingSimulator:
             if a2a_layers is None
             else float(np.mean(a2a_layers))
         )
+        if counts is None:
+            a2a_broadcast = a2a_mean
+        elif a2a_broadcast_layers is not None:
+            a2a_broadcast = float(np.mean(a2a_broadcast_layers))
+        elif self.serving_config.record_broadcast_price:
+            # The companion broadcast price reduces to layer 0's exact
+            # price while the placement stack is still uniform.
+            a2a_broadcast = breakdown.alltoall
+        else:
+            a2a_broadcast = float("nan")
         completed = self._drain_migrations(
             ar_duration=breakdown.allreduce * self.model.num_sparse_layers,
             a2a_duration=a2a_mean * self.model.num_sparse_layers,
@@ -398,6 +483,7 @@ class ServingSimulator:
             latency=latency,
             breakdown=breakdown,
             alltoall_mean=a2a_mean,
+            alltoall_broadcast=a2a_broadcast,
             max_device_load=max_load,
             mean_device_load=mean_load,
             migration_exposed=exposed,

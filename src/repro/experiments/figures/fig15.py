@@ -43,7 +43,11 @@ def run_point(params: dict) -> dict:
         workload,
         strategy_class(params["strategy"]),
         engine_config=EngineConfig(tokens_per_group=128),
-        serving_config=ServingConfig(num_iterations=ITERATIONS),
+        # Demand-resolved pricing (the serving default) with the PR 4
+        # demand-broadcast companion recorded for comparison.
+        serving_config=ServingConfig(
+            num_iterations=ITERATIONS, record_broadcast_price=True
+        ),
     )
     trace = simulator.run()
     return {
@@ -52,6 +56,8 @@ def run_point(params: dict) -> dict:
         "interruptions": trace.num_interruptions(),
         "overhead_fraction": trace.migration_overhead_fraction(SKIP),
         "latency": trace.mean_latency(SKIP),
+        "alltoall": trace.mean_component("alltoall", SKIP),
+        "alltoall_broadcast": trace.mean_component("alltoall_broadcast", SKIP),
     }
 
 
@@ -90,7 +96,8 @@ SPEC = register(
         grid={"strategy": STRATEGY_KEYS},
         point=run_point,
         render=render,
-        # v2: per-layer all-to-all pricing in the serving engine.
-        version=2,
+        # v3: demand-resolved per-layer all-to-all pricing (v2 priced
+        # per-layer placements under layer-0 demand).
+        version=3,
     )
 )

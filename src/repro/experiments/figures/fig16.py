@@ -64,11 +64,16 @@ def run_point(params: dict) -> dict:
         engine_config=EngineConfig(
             tokens_per_group=tokens, context_len=context, decode=decode
         ),
-        serving_config=ServingConfig(num_iterations=ITERATIONS),
+        # Demand-resolved pricing (the serving default) with the PR 4
+        # demand-broadcast companion recorded for comparison.
+        serving_config=ServingConfig(
+            num_iterations=ITERATIONS, record_broadcast_price=True
+        ),
     )
     trace = simulator.run()
     return {
         "alltoall": trace.mean_component("alltoall", SKIP),
+        "alltoall_broadcast": trace.mean_component("alltoall_broadcast", SKIP),
         "moe": trace.mean_component("moe", SKIP),
         "overhead_fraction": trace.migration_overhead_fraction(SKIP),
         "load_ratio": trace.mean_load_ratio(SKIP),
@@ -118,8 +123,9 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             },
             point=run_point,
             render=render,
-            # v2: per-layer all-to-all pricing in the serving engine.
-            version=2,
+            # v3: demand-resolved per-layer all-to-all pricing (v2 priced
+            # per-layer placements under layer-0 demand).
+            version=3,
         )
     )
 

@@ -70,6 +70,9 @@ def run_point(params: dict) -> dict:
             beta_iters=3,
             shadow_slots=2,
             migration_side_channel=side_channel,
+            # Demand-resolved pricing (the serving default) with the PR 4
+            # demand-broadcast companion recorded for comparison.
+            record_broadcast_price=True,
         ),
         # Short runs need larger per-trigger plans to converge the placement.
         balancer_config=BalancerConfig(max_migrations_per_trigger=16),
@@ -78,6 +81,7 @@ def run_point(params: dict) -> dict:
     per_device_latency = trace.mean_latency(SKIP)
     return {
         "alltoall": trace.mean_component("alltoall", SKIP),
+        "alltoall_broadcast": trace.mean_component("alltoall_broadcast", SKIP),
         "moe": trace.mean_component("moe", SKIP),
         "overhead_fraction": trace.migration_overhead_fraction(SKIP),
         "per_device_latency": per_device_latency,
@@ -126,8 +130,9 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             grid={"model": [model_key], "config": list(_CONFIGS)},
             point=run_point,
             render=render,
-            # v2: per-layer all-to-all pricing in the serving engine.
-            version=2,
+            # v3: demand-resolved per-layer all-to-all pricing (v2 priced
+            # per-layer placements under layer-0 demand).
+            version=3,
         )
     )
 

@@ -20,13 +20,18 @@ roughly 2x the proxy cost instead of ~29x.  ``REPRO_SERVING_BENCH_LAYERS``
 (or ``bench_serving_speed.py --layers``) overrides the axis for ad-hoc
 depth sweeps without editing this spec.
 
-The ``pricing`` axis compares per-layer all-to-all pricing (``per_layer``,
-the serving default: diverged layers price against their own placements)
-with the layer-0-broadcast oracle (``layer0``).  CI asserts the per-layer
-path stays within 2x of the broadcast path at full depth.  The one-time
-route-table/link-operator construction behind per-layer pricing is warmed
-before the clock starts — it plays the same role as the topology route
-cache and would otherwise dominate reduced smoke runs.
+The ``mode`` axis sweeps (pricing, demand) pairs: the layer-0-broadcast
+oracle (``layer0``/``broadcast``), per-layer placement pricing under
+layer-0 demand (``per_layer``/``broadcast``, the PR 4 semantics), and the
+serving default ``per_layer``/``resolved`` — every layer priced against
+its own group-resolved demand rows.  The JSON record keeps ``pricing`` and
+``demand`` as separate keys per config.  CI (via
+``tools/ci/check_serving_smoke.py``) asserts that at full depth per-layer
+pricing stays within 2x and the resolved-demand path within 2.5x of the
+layer-0-broadcast wall clock.  The one-time route-table/link-operator
+construction behind per-layer pricing is warmed before the clock starts —
+it plays the same role as the topology route cache and would otherwise
+dominate reduced smoke runs.
 """
 
 import os
@@ -60,6 +65,14 @@ LAYERS = [
 #: smoke runs (CI) write a separate, untracked file so they never clobber it.
 BENCH_JSON = "BENCH_serving.json"
 BENCH_SMOKE_JSON = "BENCH_serving.smoke.json"
+#: (pricing, demand) mode pairs — a composite axis because the cartesian
+#: product would include the meaningless (layer0, resolved) point (demand
+#: resolution only feeds the pricer when per-layer pricing is on).
+MODES = [
+    ["layer0", "broadcast"],
+    ["per_layer", "broadcast"],
+    ["per_layer", "resolved"],
+]
 
 
 def run_point(params: dict) -> dict:
@@ -76,7 +89,8 @@ def run_point(params: dict) -> dict:
         num_layers=params["layers"],
         seed=41,
     )
-    per_layer = params["pricing"] == "per_layer"
+    pricing, demand = params["mode"]
+    per_layer = pricing == "per_layer"
     simulator = ServingSimulator(
         system.device,
         model,
@@ -85,7 +99,9 @@ def run_point(params: dict) -> dict:
         strategy_class(params["strategy"]),
         engine_config=EngineConfig(tokens_per_group=128),
         serving_config=ServingConfig(
-            num_iterations=params["iterations"], per_layer_alltoall=per_layer
+            num_iterations=params["iterations"],
+            per_layer_alltoall=per_layer,
+            per_layer_demand=demand == "resolved",
         ),
     )
     if per_layer:
@@ -106,15 +122,15 @@ def run_point(params: dict) -> dict:
 
 
 def render(results) -> str:
-    # Only full-length runs over the canonical depth and pricing axes
-    # update the tracked trajectory record; reduced iterations AND ad-hoc
+    # Only full-length runs over the canonical depth and mode axes update
+    # the tracked trajectory record; reduced iterations AND ad-hoc
     # --layers sweeps both divert to the untracked smoke file.
     full_run = (
         all(result.params["iterations"] >= FULL_ITERATIONS for result in results)
         and sorted({result.params["layers"] for result in results})
         == DEFAULT_LAYERS
-        and {result.params["pricing"] for result in results}
-        == {"layer0", "per_layer"}
+        and {tuple(result.params["mode"]) for result in results}
+        == {tuple(mode) for mode in MODES}
     )
     emit_json(
         BENCH_JSON if full_run else BENCH_SMOKE_JSON,
@@ -126,7 +142,8 @@ def render(results) -> str:
                     "strategy": result.params["strategy"],
                     "num_experts": result.params["num_experts"],
                     "layers": result.params["layers"],
-                    "pricing": result.params["pricing"],
+                    "pricing": result.params["mode"][0],
+                    "demand": result.params["mode"][1],
                     "iterations": result.params["iterations"],
                     "wall_s": result.metrics["wall_s"],
                     "iters_per_s": result.metrics["iters_per_s"],
@@ -145,7 +162,8 @@ def render(results) -> str:
                 strategy_label(result.params["strategy"]),
                 result.params["num_experts"],
                 result.params["layers"],
-                result.params["pricing"],
+                result.params["mode"][0],
+                result.params["mode"][1],
                 result.params["iterations"],
                 f"{m['wall_s']:.2f}s",
                 f"{m['iters_per_s']:.1f} it/s",
@@ -159,6 +177,7 @@ def render(results) -> str:
             "Experts",
             "Layers",
             "Pricing",
+            "Demand",
             "Iterations",
             "Wall clock",
             "Throughput",
@@ -177,7 +196,7 @@ SPEC = register(
         grid={
             "num_experts": [NUM_EXPERTS],
             "layers": LAYERS,
-            "pricing": ["layer0", "per_layer"],
+            "mode": MODES,
             "iterations": [ITERATIONS],
             "strategy": ["greedy", "non_invasive"],
         },

@@ -400,8 +400,11 @@ class LayeredAllToAllPricer:
         """Destination cells and per-link volumes for a share stack.
 
         Args:
-            demand_bytes: ``(groups, experts)`` byte demand, shared by all
-                layers (the serving loop resolves DP groups on layer 0).
+            demand_bytes: byte demand — either one ``(groups, experts)``
+                matrix shared by every layer (the demand-broadcast mode) or
+                a ``(layers, groups, experts)`` stack carrying each layer's
+                own demand rows (the demand-resolved mode); matmul
+                broadcasting prices both through the same operator product.
             shares: ``(layers, experts, devices)`` destination-share stack.
 
         Returns:
@@ -440,9 +443,12 @@ class LayeredAllToAllPricer:
         Each layer's phases follow :func:`simulate_phase`'s cut-through
         semantics (busiest-link drain plus worst active path latency),
         with the per-link sums evaluated in batched operator order.
-        ``dense_latencies`` may carry :meth:`dense_demand_latencies` of the
-        same share stack; it is only consulted when the demand is actually
-        dense (zero cells deactivate pairs, shrinking the latency max).
+        ``demand_bytes`` is a shared ``(groups, experts)`` matrix or a
+        per-layer ``(layers, groups, experts)`` stack (see
+        :meth:`link_volumes`).  ``dense_latencies`` may carry
+        :meth:`dense_demand_latencies` of the same share stack; it is only
+        consulted when the demand is actually dense (zero cells deactivate
+        pairs, shrinking the latency max).
         """
         cells, volumes = self.link_volumes(demand_bytes, shares)
         if (demand_bytes > 0).all():
@@ -525,10 +531,30 @@ class LayeredDispatchPlan:
     :func:`layered_dispatch_plan` caches the plan per
     ``(mapping, per-layer version vector)`` and migration-free iterations
     never rebuild it.
+
+    Under *demand-resolved* pricing (:meth:`alltoall_durations_resolved`)
+    the content grouping no longer collapses layers — every layer past the
+    first carries its own demand rows, so all of them go through the dense
+    pricer each iteration regardless of placement content.  The plan then
+    serves as the per-placement-epoch cache of the share stack and its
+    dense-demand latency maxima: with a stacked engine the share stack is a
+    zero-copy view of the :class:`~repro.mapping.placement.StackedPlacement`
+    tensor (safe because any mutation bumps a layer version and retires
+    this plan), and the per-layer oracle engine pays one ``np.stack`` per
+    placement epoch.
     """
 
-    def __init__(self, mapping: "Mapping", placements: list) -> None:
+    def __init__(
+        self,
+        mapping: "Mapping",
+        placements: list,
+        stacked_shares: np.ndarray | None = None,
+    ) -> None:
         self.pricer = alltoall_pricer(mapping)
+        self._placements = placements
+        self._stacked_shares = stacked_shares
+        self._resolved_shares: np.ndarray | None = None
+        self._resolved_latencies: np.ndarray | None = None
         group_of_key: dict[bytes, int] = {}
         representatives: list[int] = []
         group_index = np.empty(len(placements), dtype=np.intp)
@@ -577,6 +603,48 @@ class LayeredDispatchPlan:
             )
         return per_group[self.group_index]
 
+    def _resolved_stack(self) -> tuple[np.ndarray, np.ndarray]:
+        """Layers-past-the-first share stack + dense-demand latencies.
+
+        Built lazily (demand-broadcast users never pay for it) and frozen
+        into the plan, so migration-free iterations reuse both.
+        """
+        if self._resolved_shares is None:
+            if self._stacked_shares is not None:
+                self._resolved_shares = self._stacked_shares[1:]
+            else:
+                self._resolved_shares = np.stack(
+                    [p.destination_shares for p in self._placements[1:]]
+                )
+            self._resolved_latencies = self.pricer.dense_demand_latencies(
+                self._resolved_shares
+            )
+        return self._resolved_shares, self._resolved_latencies
+
+    def alltoall_durations_resolved(
+        self, demand_stack: np.ndarray, layer0_duration: float
+    ) -> np.ndarray:
+        """Per-layer durations under per-layer demand, ``(num_layers,)``.
+
+        ``demand_stack`` is the ``(layers, groups, experts)`` byte-demand
+        tensor.  Layer 0 keeps ``layer0_duration`` — the exact
+        :func:`simulate_alltoall` price of its own demand — and every other
+        layer is priced against its own placement *and* its own demand
+        rows, one batched operator product for the whole stack.  Content
+        groups cannot collapse here (two layers sharing placement content
+        still differ in demand), which is exactly the fidelity
+        demand-resolved pricing buys.
+        """
+        num_layers = len(self.group_index)
+        durations = np.empty(num_layers)
+        durations[0] = layer0_duration
+        if num_layers > 1:
+            shares, dense_latencies = self._resolved_stack()
+            durations[1:] = self.pricer.durations(
+                demand_stack[1:], shares, dense_latencies
+            )
+        return durations
+
 
 #: anchor placement -> {id(mapping): (mapping weakref, version vector, plan)}.
 #: The anchor is the StackedPlacement (stacked engine) or layer 0's
@@ -598,6 +666,12 @@ def layered_dispatch_plan(
         if mapping_ref() is mapping and cached_versions == versions:
             return plan
     _sweep_dead_mappings(per_mapping)
-    plan = LayeredDispatchPlan(mapping, placements)
+    # A stacked anchor maintains the (layers, experts, devices) share
+    # tensor incrementally; hand it to the plan so demand-resolved pricing
+    # reads it zero-copy instead of re-stacking per placement epoch.
+    anchor_shares = getattr(anchor, "destination_shares", None)
+    if anchor_shares is not None and anchor_shares.ndim != 3:
+        anchor_shares = None
+    plan = LayeredDispatchPlan(mapping, placements, stacked_shares=anchor_shares)
     per_mapping[id(mapping)] = (weakref.ref(mapping), versions, plan)
     return plan

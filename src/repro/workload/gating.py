@@ -30,7 +30,14 @@ class GatingSimulator:
         seed: RNG seed.
         balanced: force uniform popularity (the balanced-gating ablation of
             Sec. VI-B).
+        group_split: how :meth:`next_group_counts` resolves layer totals
+            into DP groups for layers past the first — ``"gaussian"``
+            (default, a covariance-matched CLT split; float counts) or
+            ``"multinomial"`` (exact integer split under the same flat
+            selection-slot model, ~4x the RNG cost).
     """
+
+    GROUP_SPLITS = ("gaussian", "multinomial")
 
     def __init__(
         self,
@@ -42,6 +49,7 @@ class GatingSimulator:
         adaptation: float = 0.08,
         seed: int = 0,
         balanced: bool = False,
+        group_split: str = "gaussian",
     ) -> None:
         if num_groups <= 0 or tokens_per_group <= 0:
             raise ValueError("num_groups and tokens_per_group must be positive")
@@ -49,6 +57,11 @@ class GatingSimulator:
             raise ValueError(f"num_layers must be positive, got {num_layers}")
         if not (0.0 < adaptation <= 1.0):
             raise ValueError(f"adaptation must be in (0, 1], got {adaptation}")
+        if group_split not in self.GROUP_SPLITS:
+            raise ValueError(
+                f"group_split must be one of {self.GROUP_SPLITS}, "
+                f"got {group_split!r}"
+            )
         if isinstance(mixer, ScenarioProfile):
             mixer = ConstantMixer([mixer])
         self.model = model
@@ -58,6 +71,7 @@ class GatingSimulator:
         self.num_layers = num_layers
         self.adaptation = adaptation
         self.balanced = balanced
+        self.group_split = group_split
         self._rng = np.random.default_rng(seed)
         self._iteration = 0
         # Warm start far from the stationary profile: uniform popularity.
@@ -136,6 +150,97 @@ class GatingSimulator:
             )[:, 0, :]
         self._iteration += 1
         return counts0, loads
+
+    def next_group_counts(self) -> np.ndarray:
+        """Advance one iteration; return (layers, groups, experts) demand.
+
+        The demand-resolved serving path: every layer gets its *own*
+        group-resolved counts, so per-layer demand skew reaches the
+        all-to-all pricer instead of broadcasting layer 0's rows.  Drawing
+        ``layers x groups x experts`` independent multinomial cells would
+        multiply the serving loop's RNG floor by ~``layers`` (numpy's
+        per-binomial cost dominates, not the trial count), so the draw is
+        hierarchical and stays on the cheap large-``n`` path:
+
+        1. Layer 0 keeps the exactly-resolved integer counts of
+           :meth:`next_loads` (its all-to-all is simulated in full), and
+           layers past the first draw the same layer-total multinomials —
+           the first two RNG consumptions are bit-identical to
+           :meth:`next_loads`, so layer totals match it exactly in
+           distribution.
+        2. Each later layer's totals are resolved into DP groups under the
+           *flat selection-slot* model — all ``groups x selections`` slots
+           of a layer land independently, so a group's total fluctuates as
+           ``Binomial(groups * selections, 1/groups)`` around
+           ``selections`` instead of being pinned to it.  The split
+           preserves layer totals exactly and is drawn either as a
+           vectorized binomial-thinning chain (``group_split=
+           "multinomial"``, the exact integer law) or as its
+           covariance-matched CLT form (``"gaussian"``, the default: bulk
+           normals centered on ``total/groups`` with the multinomial
+           split's variance and negative cross-group correlation, clipped
+           at zero and rescaled — float demand, ~4x cheaper RNG).
+
+        The stream consumes :meth:`next_loads`'s draws first and the split
+        draws after, so a given seed yields yet another — equally
+        distributed in totals — trace realization.  Oracles
+        :meth:`next_counts` / :meth:`next_loads` are untouched.
+        """
+        model = self.model
+        num_groups = self.num_groups
+        selections = self.tokens_per_group * model.experts_per_token
+        popularity = self._advance_popularity()
+        counts0 = self._rng.multinomial(
+            selections, popularity[0], size=num_groups
+        ).astype(float)
+        counts = np.empty((self.num_layers, num_groups, model.num_experts))
+        counts[0] = counts0
+        if self.num_layers > 1:
+            totals = self._rng.multinomial(
+                num_groups * selections,
+                popularity[1:, None, :],
+                size=(self.num_layers - 1, 1),
+            )[:, 0, :]
+            counts[1:] = self._split_groups(totals)
+        self._iteration += 1
+        return counts
+
+    def _split_groups(self, totals: np.ndarray) -> np.ndarray:
+        """Resolve (layers, experts) totals into (layers, groups, experts).
+
+        Both modes preserve each (layer, expert) total exactly and model
+        the flat selection-slot split ``Multinomial(total, 1/groups)``.
+        """
+        num_groups = self.num_groups
+        if self.group_split == "multinomial":
+            # Sequential binomial thinning: group g takes Binomial(rest,
+            # 1/(G-g)) of the remaining slots — the exact chain
+            # factorization of the uniform multinomial split, vectorized
+            # over every (layer, expert) cell per step.
+            split = np.empty(totals.shape[:1] + (num_groups,) + totals.shape[1:])
+            remaining = totals.astype(np.int64)
+            for group in range(num_groups - 1):
+                taken = self._rng.binomial(remaining, 1.0 / (num_groups - group))
+                split[:, group, :] = taken
+                remaining -= taken
+            split[:, num_groups - 1, :] = remaining
+            return split
+        # Gaussian split: total/G + sqrt(total/G) * (Z - mean_g(Z)) has the
+        # multinomial split's mean, variance (total/G)(1 - 1/G) and
+        # cross-group covariance -total/G^2, and sums to the total exactly.
+        # Clipping negatives (rare unless per-cell means are tiny) loses a
+        # little variance; rescaling restores the exact totals.
+        noise = self._rng.standard_normal(
+            totals.shape[:1] + (num_groups,) + totals.shape[1:]
+        )
+        noise -= noise.mean(axis=1, keepdims=True)
+        base = totals[:, None, :] / num_groups
+        split = base + np.sqrt(base) * noise
+        np.maximum(split, 0.0, out=split)
+        sums = split.sum(axis=1, keepdims=True)
+        np.divide(totals[:, None, :], sums, out=sums, where=sums > 0)
+        split *= sums
+        return split
 
     def expert_loads(self, counts: np.ndarray) -> np.ndarray:
         """Sum counts over groups: (layers, experts) total expert loads."""

@@ -1,8 +1,12 @@
 """Per-layer all-to-all pricing against the layer-0 broadcast oracle.
 
 ``ServingConfig.per_layer_alltoall`` prices every layer's all-to-all
-against its own placement.  Its contract with the old layer-0-broadcast
-path (kept behind ``per_layer_alltoall=False``):
+against its own placement.  These tests pin the PR 4 *demand-broadcast*
+semantics (layer 0's demand rows against every layer's placement), so the
+fixture disables the newer ``per_layer_demand`` resolution — the resolved
+path has its own contract in ``test_demand_resolved.py``.  The contract
+with the old layer-0-broadcast path (kept behind
+``per_layer_alltoall=False``):
 
 * while no migration has diverged any layer from layer 0's placement
   content, the two paths produce *bit-identical* traces;
@@ -49,6 +53,7 @@ def make_simulator(
         serving_config=ServingConfig(
             num_iterations=iterations,
             per_layer_alltoall=per_layer_alltoall,
+            per_layer_demand=False,
             **serving_kwargs,
         ),
         stacked=stacked,

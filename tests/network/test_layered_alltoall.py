@@ -179,6 +179,115 @@ class TestLayeredPlan:
         assert durations[1] == durations[3]
 
 
+class TestResolvedDemand:
+    """Per-layer demand rows through the batched pricer vs the exact
+    per-layer simulation oracle."""
+
+    @staticmethod
+    def demand_stack(num_layers=5, seed=3, sparse=False):
+        rng = np.random.default_rng(seed)
+        base = uniform_demand(4, 16, 256, 8, 100)
+        stack = base * rng.uniform(0.5, 1.5, size=(num_layers, 4, 16))
+        if sparse:
+            stack[1, 0, 3] = 0.0
+            stack[3, 2, :8] = 0.0
+        return stack
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_durations_match_per_layer_oracle(self, mapping, sparse):
+        placements = diverged_placements()
+        demand = self.demand_stack(sparse=sparse)
+        plan = LayeredDispatchPlan(mapping, placements)
+        layer0 = simulate_alltoall(
+            mapping.topology, demand[0], placements[0], mapping
+        ).duration
+        durations = plan.alltoall_durations_resolved(demand, layer0)
+        assert durations[0] == layer0
+        for layer in range(1, len(placements)):
+            exact = simulate_alltoall(
+                mapping.topology, demand[layer], placements[layer], mapping
+            ).duration
+            assert durations[layer] == pytest.approx(exact, rel=1e-12)
+
+    def test_uniform_stack_still_resolves_demand(self, mapping):
+        """Unlike the broadcast path, identical placement content must NOT
+        collapse layers — each layer's own demand rows set its price."""
+        placements = [ExpertPlacement(16, 16) for _ in range(4)]
+        plan = LayeredDispatchPlan(mapping, placements)
+        assert plan.uniform
+        demand = self.demand_stack(num_layers=4)
+        layer0 = simulate_alltoall(
+            mapping.topology, demand[0], placements[0], mapping
+        ).duration
+        durations = plan.alltoall_durations_resolved(demand, layer0)
+        for layer in range(1, 4):
+            exact = simulate_alltoall(
+                mapping.topology, demand[layer], placements[layer], mapping
+            ).duration
+            assert durations[layer] == pytest.approx(exact, rel=1e-12)
+        assert len(set(durations.tolist())) > 1
+
+    def test_forced_later_layer_demand_skew_changes_only_that_layer(
+        self, mapping
+    ):
+        """The satellite contract: skewing layer 3's demand strictly moves
+        layer 3's price and no other layer's."""
+        placements = diverged_placements()
+        plan = LayeredDispatchPlan(mapping, placements)
+        demand = self.demand_stack()
+        skewed = demand.copy()
+        # Concentrate layer 3's demand onto two experts, holding the
+        # total volume fixed.
+        skewed[3] = 0.0
+        skewed[3, :, 0] = demand[3].sum(axis=1) * 0.75
+        skewed[3, :, 9] = demand[3].sum(axis=1) * 0.25
+        layer0 = 1.0e-5
+        base = plan.alltoall_durations_resolved(demand, layer0)
+        moved = plan.alltoall_durations_resolved(skewed, layer0)
+        assert moved[3] != base[3]
+        mask = np.arange(len(placements)) != 3
+        np.testing.assert_array_equal(moved[mask], base[mask])
+
+    def test_pricer_link_volumes_accept_demand_stack(self, mapping):
+        placements = diverged_placements()
+        demand = self.demand_stack()
+        pricer = alltoall_pricer(mapping)
+        _cells, batched = pricer.link_volumes(demand, shares_stack(placements))
+        for layer, placement in enumerate(placements):
+            _cells_l, single = pricer.link_volumes(
+                demand[layer], shares_stack([placement])
+            )
+            np.testing.assert_allclose(batched[layer], single[0], **TIGHT)
+
+    def test_broadcast_demand_unchanged_by_resolved_machinery(self, mapping):
+        """The demand-broadcast path must stay bitwise stable whether or
+        not the resolved stack has been built on the same plan."""
+        placements = diverged_placements()
+        demand = uniform_demand(4, 16, 256, 8, 100)
+        fresh = LayeredDispatchPlan(mapping, placements)
+        reference = fresh.alltoall_durations(demand, layer0_duration=2.0e-6)
+        warmed = LayeredDispatchPlan(mapping, placements)
+        warmed.alltoall_durations_resolved(self.demand_stack(), 2.0e-6)
+        np.testing.assert_array_equal(
+            warmed.alltoall_durations(demand, layer0_duration=2.0e-6), reference
+        )
+
+    def test_stacked_share_view_matches_restacked(self, mapping):
+        """A plan fed the stacked engine's (layers, experts, devices) share
+        tensor prices bitwise like one that re-stacks per-layer views."""
+        placements = diverged_placements()
+        stacked_shares = shares_stack(placements)
+        demand = self.demand_stack()
+        via_view = LayeredDispatchPlan(
+            mapping, placements, stacked_shares=stacked_shares
+        )
+        via_stack = LayeredDispatchPlan(mapping, placements)
+        np.testing.assert_array_equal(
+            via_view.alltoall_durations_resolved(demand, 1.0e-6),
+            via_stack.alltoall_durations_resolved(demand, 1.0e-6),
+        )
+
+
 class TestLayeredPlanCache:
     def test_hit_until_any_layer_mutates(self, mapping):
         placements = diverged_placements()

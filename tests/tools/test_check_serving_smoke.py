@@ -1,0 +1,234 @@
+"""Unit tests for the checked-in CI perf-gate tool.
+
+The gate logic used to live as an inline heredoc in the workflow YAML;
+these tests feed it synthetic smoke records so threshold and axis
+regressions are caught by pytest instead of on a live CI runner.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "ci" / "check_serving_smoke.py"
+_spec = importlib.util.spec_from_file_location("check_serving_smoke", _TOOL)
+check_serving_smoke = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_serving_smoke)
+
+
+def config(
+    strategy="greedy",
+    layers=58,
+    pricing="layer0",
+    demand="broadcast",
+    wall_s=1.0,
+    iterations=150,
+):
+    return {
+        "strategy": strategy,
+        "num_experts": 64,
+        "layers": layers,
+        "pricing": pricing,
+        "demand": demand,
+        "iterations": iterations,
+        "wall_s": wall_s,
+        "iters_per_s": iterations / wall_s,
+        "load_ratio": 1.5,
+        "migrations": 100,
+    }
+
+
+def record(configs):
+    return {
+        "benchmark": "serving_speed",
+        "system": {"devices": 64, "mapping": "er", "tp": 4},
+        "configs": configs,
+    }
+
+
+def full_grid(walls=None):
+    """One strategy over both depths and all three (pricing, demand) modes."""
+    walls = walls or {}
+    configs = []
+    for layers in (2, 58):
+        for pricing, demand in (
+            ("layer0", "broadcast"),
+            ("per_layer", "broadcast"),
+            ("per_layer", "resolved"),
+        ):
+            wall = walls.get((layers, pricing, demand), 1.0)
+            configs.append(
+                config(layers=layers, pricing=pricing, demand=demand, wall_s=wall)
+            )
+    return configs
+
+
+def run_checks(configs, *argv):
+    args = check_serving_smoke.parse_args(["record.json", *argv])
+    return check_serving_smoke.check_record(record(configs), args)
+
+
+EXPECT_AXES = (
+    "--expect-iterations",
+    "150",
+    "--expect-layers",
+    "2,58",
+    "--expect-pricing",
+    "layer0,per_layer",
+    "--expect-demand",
+    "broadcast,resolved",
+)
+
+
+class TestPassingRecord:
+    def test_full_grid_passes(self):
+        assert run_checks(full_grid(), *EXPECT_AXES) == []
+
+    def test_ratios_under_budget_pass(self):
+        walls = {
+            (58, "layer0", "broadcast"): 1.0,
+            (58, "per_layer", "broadcast"): 1.9,
+            (58, "per_layer", "resolved"): 2.4,
+        }
+        assert run_checks(full_grid(walls), *EXPECT_AXES) == []
+
+    def test_main_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "smoke.json"
+        path.write_text(json.dumps(record(full_grid())))
+        assert check_serving_smoke.main([str(path), *EXPECT_AXES]) == 0
+        out = capsys.readouterr().out
+        assert "serving perf smoke ok" in out
+        assert "resolved demand cost greedy@58" in out
+
+
+class TestAxisViolations:
+    def test_empty_record(self):
+        assert run_checks([]) == ["record has no configs"]
+
+    def test_missing_depth(self):
+        configs = [c for c in full_grid() if c["layers"] == 58]
+        errors = run_checks(configs, *EXPECT_AXES)
+        assert any("layer axis" in error for error in errors)
+
+    def test_missing_pricing_mode(self):
+        configs = [c for c in full_grid() if c["pricing"] == "layer0"]
+        errors = run_checks(configs, *EXPECT_AXES)
+        assert any("pricing axis" in error for error in errors)
+
+    def test_missing_demand_mode(self):
+        configs = [c for c in full_grid() if c["demand"] == "broadcast"]
+        errors = run_checks(configs, *EXPECT_AXES)
+        assert any("demand axis" in error for error in errors)
+
+    def test_wrong_iteration_count(self):
+        configs = full_grid()
+        configs[0]["iterations"] = 30
+        errors = run_checks(configs, *EXPECT_AXES)
+        assert any("iterations" in error for error in errors)
+
+    def test_nonpositive_wall(self):
+        configs = full_grid()
+        configs[-1]["wall_s"] = 0.0
+        errors = run_checks(configs, *EXPECT_AXES)
+        assert any("wall_s" in error for error in errors)
+
+    def test_demand_axis_defaults_to_broadcast_for_old_records(self):
+        """Pre-demand-axis records read as broadcast-only, so the demand
+        expectation flags them instead of crashing."""
+        configs = full_grid()
+        for entry in configs:
+            del entry["demand"]
+        errors = run_checks(configs, "--expect-demand", "broadcast,resolved")
+        assert any("demand axis" in error for error in errors)
+
+
+class TestRatioGates:
+    def test_pricing_ratio_over_budget(self):
+        walls = {
+            (58, "layer0", "broadcast"): 1.0,
+            (58, "per_layer", "broadcast"): 2.1,
+        }
+        errors = run_checks(full_grid(walls), "--max-pricing-ratio", "2.0")
+        assert any("per-layer pricing" in error and "2.10x" in error for error in errors)
+
+    def test_demand_ratio_over_budget(self):
+        walls = {
+            (58, "layer0", "broadcast"): 1.0,
+            (58, "per_layer", "resolved"): 2.6,
+        }
+        errors = run_checks(full_grid(walls), "--max-demand-ratio", "2.5")
+        assert any("resolved demand" in error and "2.60x" in error for error in errors)
+
+    def test_gate_only_at_deepest_depth(self):
+        """A slow shallow config must not trip the gate (2-layer walls are
+        too small to gate on; only the deepest depth is budgeted)."""
+        walls = {
+            (2, "layer0", "broadcast"): 0.1,
+            (2, "per_layer", "resolved"): 1.0,
+        }
+        assert run_checks(full_grid(walls), *EXPECT_AXES) == []
+
+    def test_gated_mode_missing_at_depth_reported(self):
+        """A mode measured anywhere in the record (or demanded by the axis
+        expectations) must exist at the gated depth — a partial run must
+        not slip past with the budget unenforced."""
+        configs = [
+            c
+            for c in full_grid()
+            if not (c["layers"] == 58 and c["demand"] == "resolved")
+        ]
+        errors = run_checks(configs)
+        assert any(
+            "no (per_layer, resolved) config at the gated depth" in error
+            for error in errors
+        )
+        # Same hole via the axis expectations alone (record never measured
+        # the resolved mode at all).
+        broadcast_only = [c for c in full_grid() if c["demand"] == "broadcast"]
+        errors = run_checks(
+            broadcast_only,
+            "--expect-pricing",
+            "layer0,per_layer",
+            "--expect-demand",
+            "broadcast,resolved",
+        )
+        assert any("at the gated depth" in error for error in errors)
+
+    def test_missing_baseline_reported(self):
+        configs = [
+            config(layers=58, pricing="per_layer", demand="resolved", wall_s=2.0)
+        ]
+        errors = run_checks(configs)
+        assert any("no (layer0, broadcast) baseline" in error for error in errors)
+
+    def test_custom_budget_tightens_gate(self):
+        walls = {
+            (58, "layer0", "broadcast"): 1.0,
+            (58, "per_layer", "resolved"): 1.6,
+        }
+        assert run_checks(full_grid(walls)) == []
+        errors = run_checks(full_grid(walls), "--max-demand-ratio", "1.5")
+        assert len(errors) == 1
+
+
+class TestMainErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        assert check_serving_smoke.main([str(tmp_path / "nope.json")]) == 1
+        assert "cannot read record" in capsys.readouterr().err
+
+    def test_corrupt_json(self, tmp_path, capsys):
+        path = tmp_path / "smoke.json"
+        path.write_text("{not json")
+        assert check_serving_smoke.main([str(path)]) == 1
+        assert "cannot read record" in capsys.readouterr().err
+
+    def test_violation_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "smoke.json"
+        walls = {
+            (58, "layer0", "broadcast"): 1.0,
+            (58, "per_layer", "resolved"): 9.0,
+        }
+        path.write_text(json.dumps(record(full_grid(walls))))
+        assert check_serving_smoke.main([str(path)]) == 1
+        assert "FAIL:" in capsys.readouterr().err

@@ -188,6 +188,117 @@ class TestNextLoads:
         np.testing.assert_array_equal(al, bl)
 
 
+class TestNextGroupCounts:
+    """The demand-resolved path: per-layer group counts for every layer."""
+
+    def test_shapes(self):
+        counts = make_sim(num_layers=3).next_group_counts()
+        assert counts.shape == (3, 4, 128)
+
+    @pytest.mark.parametrize("group_split", ["gaussian", "multinomial"])
+    def test_layer0_bit_identical_to_next_loads(self, group_split):
+        """Layer 0 and the layer totals consume the RNG stream exactly as
+        next_loads, so the first iteration's totals are bitwise equal."""
+        counts = make_sim(group_split=group_split).next_group_counts()
+        counts0, loads = make_sim().next_loads()
+        np.testing.assert_array_equal(counts[0], counts0)
+        np.testing.assert_array_equal(counts.sum(axis=1)[0], loads[0])
+
+    @pytest.mark.parametrize("group_split", ["gaussian", "multinomial"])
+    def test_totals_match_next_loads_bitwise_first_iteration(self, group_split):
+        sim = make_sim(num_layers=5, group_split=group_split)
+        counts = sim.next_group_counts()
+        _counts0, loads = make_sim(num_layers=5).next_loads()
+        if group_split == "multinomial":
+            np.testing.assert_array_equal(counts.sum(axis=1), loads)
+        else:
+            np.testing.assert_allclose(counts.sum(axis=1), loads, rtol=1e-9)
+
+    @pytest.mark.parametrize("group_split", ["gaussian", "multinomial"])
+    def test_totals_preserved_every_iteration(self, group_split):
+        """Every layer's totals sum to num_groups * tokens * top_k — the
+        split never creates or loses selection slots."""
+        sim = make_sim(num_layers=4, group_split=group_split)
+        for _ in range(6):
+            counts = sim.next_group_counts()
+            np.testing.assert_allclose(counts.sum(axis=(1, 2)), 4 * 64 * 8)
+            assert (counts >= 0).all()
+
+    def test_multinomial_split_is_integer(self):
+        counts = make_sim(group_split="multinomial").next_group_counts()
+        np.testing.assert_array_equal(counts, counts.astype(int))
+
+    @pytest.mark.parametrize("group_split", ["gaussian", "multinomial"])
+    def test_totals_match_next_loads_in_distribution(self, group_split):
+        """Fixed-seed moment check: long-run per-expert layer totals agree
+        with next_loads' within sampling tolerance (both draw layer totals
+        from the identical multinomial law)."""
+        iterations = 150
+        via_groups = make_sim(
+            num_layers=2, tokens_per_group=256, group_split=group_split, seed=5
+        )
+        via_loads = make_sim(num_layers=2, tokens_per_group=256, seed=6)
+        group_totals = np.zeros(128)
+        load_totals = np.zeros(128)
+        for _ in range(iterations):
+            group_totals += via_groups.next_group_counts().sum(axis=1)[1]
+            load_totals += via_loads.next_loads()[1][1]
+        np.testing.assert_allclose(
+            group_totals / iterations, load_totals / iterations, rtol=0.12, atol=6.0
+        )
+
+    @pytest.mark.parametrize("group_split", ["gaussian", "multinomial"])
+    def test_group_split_variance_matches_flat_slot_model(self, group_split):
+        """The split's cross-group fluctuation carries the multinomial
+        split variance (total/G)(1 - 1/G) on well-populated cells."""
+        sim = make_sim(
+            num_groups=16, tokens_per_group=128, group_split=group_split, seed=1
+        )
+        num = den = 0.0
+        for _ in range(300):
+            counts = sim.next_group_counts()
+            totals = counts.sum(axis=1)[1]
+            big = totals >= 200
+            base = totals[big] / 16
+            num += ((counts[1][:, big] - base) ** 2).mean(axis=0).sum()
+            den += (base * (1 - 1 / 16)).sum()
+        assert num / den == pytest.approx(1.0, rel=0.12)
+
+    def test_popularity_state_matches_next_loads(self):
+        mixer_a = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        mixer_b = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        via_groups = make_sim(mixer=mixer_a, num_layers=3)
+        via_loads = make_sim(mixer=mixer_b, num_layers=3)
+        for _ in range(8):
+            via_groups.next_group_counts()
+            via_loads.next_loads()
+        np.testing.assert_array_equal(via_groups._state, via_loads._state)
+        assert via_groups.iteration == via_loads.iteration
+
+    def test_seeded_reproducibility(self):
+        a = make_sim(seed=42).next_group_counts()
+        b = make_sim(seed=42).next_group_counts()
+        np.testing.assert_array_equal(a, b)
+
+    def test_single_layer(self):
+        counts = make_sim(num_layers=1).next_group_counts()
+        assert counts.shape == (1, 4, 128)
+        np.testing.assert_allclose(counts.sum(axis=2), 64 * 8)
+
+    def test_oracles_untouched(self):
+        """next_counts / next_loads stay bit-identical whether or not the
+        resolved path has consumed draws from a sibling simulator."""
+        a = make_sim(seed=9)
+        b = make_sim(seed=9)
+        a.next_group_counts()
+        b.next_group_counts()
+        np.testing.assert_array_equal(a.next_counts(), b.next_counts())
+
+    def test_rejects_bad_group_split(self):
+        with pytest.raises(ValueError):
+            make_sim(group_split="poisson")
+
+
 class TestValidation:
     def test_rejects_bad_groups(self):
         with pytest.raises(ValueError):

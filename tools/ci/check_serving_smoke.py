@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""CI perf gate over the serving-loop smoke benchmark record.
+
+Validates a ``BENCH_serving.smoke.json`` (or the full-length
+``BENCH_serving.json``) emitted by the ``serving_speed`` spec: the grid
+must cover the expected depth/pricing/demand axes, every config must have
+a positive wall clock at the expected iteration count, and — at the
+deepest measured layer count — per-layer all-to-all pricing and
+demand-resolved pricing must stay within their wall-clock budgets of the
+layer-0-broadcast baseline.
+
+This is the logic that used to live as an inline heredoc in
+``.github/workflows/ci.yml``; as a checked-in module it has unit tests
+(``tests/tools/test_check_serving_smoke.py``) and can be run locally:
+
+    PYTHONPATH=src python -m repro.experiments run serving_speed
+    python tools/ci/check_serving_smoke.py \
+        benchmarks/results/BENCH_serving.smoke.json \
+        --expect-layers 2,58 --expect-pricing layer0,per_layer \
+        --expect-demand broadcast,resolved \
+        --max-pricing-ratio 2.0 --max-demand-ratio 2.5
+
+Exit status 0 means every check passed; 1 reports each violation on
+stderr (CI retries once on the assumption of a noisy runner).
+"""
+
+import argparse
+import json
+import sys
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _csv_strs(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Check a serving_speed benchmark record against the "
+        "CI perf-gate expectations."
+    )
+    parser.add_argument(
+        "record",
+        help="path to the BENCH_serving[.smoke].json emitted by the "
+        "serving_speed spec",
+    )
+    parser.add_argument(
+        "--expect-iterations",
+        type=int,
+        default=None,
+        help="require every config to have run exactly this many "
+        "iterations (reduced smoke runs must not be mistaken for "
+        "full-length records)",
+    )
+    parser.add_argument(
+        "--expect-layers",
+        type=_csv_ints,
+        default=None,
+        metavar="L1,L2,...",
+        help="require the layer-depth axis to be exactly this set",
+    )
+    parser.add_argument(
+        "--expect-pricing",
+        type=_csv_strs,
+        default=None,
+        metavar="P1,P2,...",
+        help="require the pricing axis to be exactly this set",
+    )
+    parser.add_argument(
+        "--expect-demand",
+        type=_csv_strs,
+        default=None,
+        metavar="D1,D2,...",
+        help="require the demand axis to be exactly this set",
+    )
+    parser.add_argument(
+        "--max-pricing-ratio",
+        type=float,
+        default=2.0,
+        help="wall-clock budget of (per_layer, broadcast) relative to "
+        "(layer0, broadcast) at the deepest measured depth "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-demand-ratio",
+        type=float,
+        default=2.5,
+        help="wall-clock budget of (per_layer, resolved) relative to "
+        "(layer0, broadcast) at the deepest measured depth "
+        "(default: %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def check_record(data: dict, args: argparse.Namespace) -> list[str]:
+    """All violated expectations, as human-readable messages."""
+    errors: list[str] = []
+    configs = data.get("configs")
+    if not configs:
+        return ["record has no configs"]
+
+    for config in configs:
+        label = (
+            f"{config.get('strategy')}@{config.get('layers')}"
+            f"/{config.get('pricing')}/{config.get('demand', 'broadcast')}"
+        )
+        if not config.get("wall_s", 0) > 0:
+            errors.append(f"{label}: wall_s must be > 0, got {config.get('wall_s')}")
+        if (
+            args.expect_iterations is not None
+            and config.get("iterations") != args.expect_iterations
+        ):
+            errors.append(
+                f"{label}: expected {args.expect_iterations} iterations, "
+                f"got {config.get('iterations')}"
+            )
+
+    layers = {config.get("layers") for config in configs}
+    if args.expect_layers is not None and layers != set(args.expect_layers):
+        errors.append(
+            f"layer axis {sorted(layers)} != expected "
+            f"{sorted(set(args.expect_layers))}"
+        )
+    pricing = {config.get("pricing") for config in configs}
+    if args.expect_pricing is not None and pricing != set(args.expect_pricing):
+        errors.append(
+            f"pricing axis {sorted(pricing)} != expected "
+            f"{sorted(set(args.expect_pricing))}"
+        )
+    demand = {config.get("demand", "broadcast") for config in configs}
+    if args.expect_demand is not None and demand != set(args.expect_demand):
+        errors.append(
+            f"demand axis {sorted(demand)} != expected "
+            f"{sorted(set(args.expect_demand))}"
+        )
+
+    # Wall-clock gates at the deepest measured depth, where per-layer
+    # machinery costs the most (migrations diverge every layer).
+    depth = max(layers)
+    walls = {
+        (
+            config.get("strategy"),
+            config.get("layers"),
+            config.get("pricing"),
+            config.get("demand", "broadcast"),
+        ): config.get("wall_s", 0.0)
+        for config in configs
+    }
+    modes_present = {
+        (config.get("pricing"), config.get("demand", "broadcast"))
+        for config in configs
+    }
+    gates = [
+        ("per-layer pricing", "per_layer", "broadcast", args.max_pricing_ratio),
+        ("resolved demand", "per_layer", "resolved", args.max_demand_ratio),
+    ]
+    for strategy in sorted({config.get("strategy") for config in configs}):
+        baseline = walls.get((strategy, depth, "layer0", "broadcast"))
+        for label, gate_pricing, gate_demand, budget in gates:
+            wall = walls.get((strategy, depth, gate_pricing, gate_demand))
+            if wall is None:
+                # A mode the record measures anywhere (or that the axis
+                # expectations demand) must show up at the gated depth —
+                # otherwise a partial run would pass with the wall-clock
+                # budget never actually enforced.
+                expected_by_axes = (
+                    args.expect_pricing is not None
+                    and gate_pricing in args.expect_pricing
+                    and args.expect_demand is not None
+                    and gate_demand in args.expect_demand
+                )
+                if (gate_pricing, gate_demand) in modes_present or expected_by_axes:
+                    errors.append(
+                        f"{strategy}@{depth}: no ({gate_pricing}, "
+                        f"{gate_demand}) config at the gated depth to "
+                        f"check {label} against"
+                    )
+                continue
+            if baseline is None or baseline <= 0:
+                errors.append(
+                    f"{strategy}@{depth}: no (layer0, broadcast) baseline "
+                    f"to gate {label} against"
+                )
+                continue
+            ratio = wall / baseline
+            print(f"{label} cost {strategy}@{depth}: {ratio:.2f}x (budget {budget}x)")
+            if ratio >= budget:
+                errors.append(
+                    f"{strategy}@{depth}: {label} wall clock {ratio:.2f}x "
+                    f"over the layer-0-broadcast baseline (budget {budget}x)"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    try:
+        with open(args.record) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read record {args.record}: {error}", file=sys.stderr)
+        return 1
+    errors = check_record(data, args)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    configs = data["configs"]
+    print(
+        "serving perf smoke ok:",
+        [
+            (
+                config["strategy"],
+                config["layers"],
+                config["pricing"],
+                config.get("demand", "broadcast"),
+                round(config["iters_per_s"], 1),
+            )
+            for config in configs
+        ],
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
