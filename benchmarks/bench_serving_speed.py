@@ -1,17 +1,21 @@
 """Serving-loop wall-clock microbenchmark (simulator speed, not model perf).
 
 Thin wrapper over the uncacheable ``serving_speed`` spec in
-``repro.experiments.figures.serving_speed``: 64 devices (8x8 wafer), a
-64-expert Qwen3 variant, 300 serving iterations per balancer at proxy (2)
-and full DeepSeek-V3 (58) layer depth, swept over the (pricing, demand)
-mode axis — layer-0 broadcast, per-layer placement pricing, and
-demand-resolved per-layer pricing.  Run standalone with
+``repro.experiments.figures.serving_speed``: the 64-device 8x8 trajectory
+system (64-expert Qwen3 variant, 300 serving iterations per balancer at
+proxy and full DeepSeek-V3 depth, swept over the (pricing, demand,
+operator) mode axis — layer-0 broadcast, per-layer placement pricing,
+demand-resolved per-layer pricing, and the dense vs sparse incremental
+all-to-all operator) plus the 1024-device four-wafer 4x(16x16) HER
+scale case, which only the sparse operator can price and which runs at a
+tenth of the base iteration count.  Run standalone with
 ``python -m repro.experiments run serving_speed``, or directly —
 
     python benchmarks/bench_serving_speed.py --layers 2,58,94
 
-— to sweep other depths without editing the spec (``--layers`` seeds
-``REPRO_SERVING_BENCH_LAYERS`` before the spec module loads).
+— to sweep other base-system depths without editing the spec
+(``--layers`` seeds ``REPRO_SERVING_BENCH_LAYERS`` before the spec
+module loads).
 """
 
 from helpers import run_and_emit

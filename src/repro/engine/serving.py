@@ -59,7 +59,7 @@ from repro.hardware.device import DeviceSpec
 from repro.mapping.base import Mapping
 from repro.mapping.placement import ExpertPlacement, StackedPlacement
 from repro.models.configs import MoEModelConfig
-from repro.network.alltoall import layered_dispatch_plan
+from repro.network.alltoall import layered_dispatch_plan, prefer_sparse_pricing
 from repro.network.phase import migration_route_arrays
 from repro.workload.gating import GatingSimulator
 
@@ -104,6 +104,17 @@ class ServingConfig:
             on; the wall-clock-gated serving benchmark keeps it off).  When
             off, resolved runs record NaN; demand-broadcast runs always
             record their own (free) price.
+        sparse_pricing: which all-to-all pricing operator backs the
+            layered plan.  ``True`` forces the CSR
+            :class:`~repro.network.alltoall.SparseAllToAllPricer`
+            (incremental, O(nonzero cells) memory), ``False`` forces the
+            dense :class:`~repro.network.alltoall.LayeredAllToAllPricer`
+            (the pinned oracle, O(G * D * links) memory), and ``None``
+            (default) picks sparse exactly when the dense operator would
+            exceed :data:`~repro.network.alltoall.
+            SPARSE_AUTO_THRESHOLD_BYTES` — small systems keep the dense
+            matmul, 256+-device systems switch to sparse.  The two tiers
+            agree to ~1e-12 relative (summation-order rounding only).
     """
 
     num_iterations: int = 150
@@ -115,6 +126,7 @@ class ServingConfig:
     per_layer_alltoall: bool = True
     per_layer_demand: bool = True
     record_broadcast_price: bool = False
+    sparse_pricing: bool | None = None
 
     def __post_init__(self) -> None:
         if self.num_iterations <= 0:
@@ -252,6 +264,13 @@ class ServingSimulator:
         )
         self.simulator = IterationSimulator(device, model, mapping, self.engine_config)
         self.num_layers = workload.num_layers
+        #: Resolved pricing mode — the config's explicit choice, or the
+        #: operator-footprint auto rule (stable for the run: it depends
+        #: only on the immutable mapping).
+        if self.serving_config.sparse_pricing is None:
+            self.sparse_pricing = prefer_sparse_pricing(mapping)
+        else:
+            self.sparse_pricing = self.serving_config.sparse_pricing
 
         num_devices = mapping.topology.num_devices
         if stacked is None:
@@ -396,7 +415,10 @@ class ServingSimulator:
         a2a_broadcast_layers = None
         if self.serving_config.per_layer_alltoall and self.num_layers > 1:
             plan = layered_dispatch_plan(
-                self.mapping, self._plan_anchor(), self.layer_placements()
+                self.mapping,
+                self._plan_anchor(),
+                self.layer_placements(),
+                sparse=self.sparse_pricing,
             )
             if counts is not None:
                 # Resolved demand: every later layer is priced against its

@@ -14,9 +14,16 @@ from repro.models import QWEN3_235B
 from repro.systems import build_multi_wsc
 
 #: (side, tp) pairs as one composite axis — the TP list differs per side.
+#: The 16x16 entry is the 1024-device system the sparse serving benchmark
+#: exercises; here it extends the paper's four-wafer mapping comparison.
 CASES = [
     [side, tp]
-    for side, tps in [(4, [4, 8, 16]), (6, [4, 6, 36]), (8, [4, 8, 16])]
+    for side, tps in [
+        (4, [4, 8, 16]),
+        (6, [4, 6, 36]),
+        (8, [4, 8, 16]),
+        (16, [16]),
+    ]
     for tp in tps
 ]
 

@@ -131,8 +131,11 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             point=run_point,
             render=render,
             # v3: demand-resolved per-layer all-to-all pricing (v2 priced
-            # per-layer placements under layer-0 demand).
-            version=3,
+            # per-layer placements under layer-0 demand).  v4: the 256-die
+            # WSC configs price through the sparse incremental operator
+            # (the footprint auto rule selects it above 64 MiB; shifts are
+            # summation-order rounding, ~1e-12 relative).
+            version=4,
         )
     )
 

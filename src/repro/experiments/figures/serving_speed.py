@@ -1,11 +1,14 @@
 """Serving-loop wall-clock microbenchmark (simulator speed, not model perf).
 
 Times the full ``ServingSimulator`` loop — gating, balancing, migration
-draining, batched MoE rooflines, device-load stats — on a 64-device 8x8
-wafer serving a 64-expert Qwen3 variant for 300 iterations.  This is the
-hot path the vectorized placement/balancer/compute and array-native
-traffic layers accelerate; the spec is uncacheable because its metrics are
-wall-clock timings.
+draining, batched MoE rooflines, device-load stats — on two systems: the
+64-device 8x8 wafer serving a 64-expert Qwen3 variant (the historical
+trajectory configuration) and a 1024-device four-wafer 4x(16x16) HER
+system serving a 256-expert variant, where only the sparse incremental
+all-to-all operator is tractable (the dense ``(G*D, 2K)`` operator would
+be ~3.9 GiB there).  This is the hot path the vectorized
+placement/balancer/compute and array-native traffic layers accelerate;
+the spec is uncacheable because its metrics are wall-clock timings.
 
 Besides the rendered table, every run writes machine-readable per-config
 timings to ``benchmarks/results/BENCH_serving.json`` so the perf
@@ -13,25 +16,32 @@ trajectory is tracked across PRs.  ``REPRO_SERVING_BENCH_ITERS`` shrinks
 the loop for CI smoke runs (the JSON records the iteration count, so smoke
 numbers are never mistaken for full-run numbers).
 
-The ``layers`` axis measures depth scaling: 2 simulated MoE layers (the
-historical proxy depth, comparable with earlier PRs' records) and 58 —
-full DeepSeek-V3 depth, which the layer-stacked balancer engine runs at
-roughly 2x the proxy cost instead of ~29x.  ``REPRO_SERVING_BENCH_LAYERS``
-(or ``bench_serving_speed.py --layers``) overrides the axis for ad-hoc
-depth sweeps without editing this spec.
+The case axis is composite (the cartesian product would cross the
+1024-device system with every mode/depth/strategy, hours of redundant
+wall clock).  Its dimensions:
 
-The ``mode`` axis sweeps (pricing, demand) pairs: the layer-0-broadcast
-oracle (``layer0``/``broadcast``), per-layer placement pricing under
-layer-0 demand (``per_layer``/``broadcast``, the PR 4 semantics), and the
-serving default ``per_layer``/``resolved`` — every layer priced against
-its own group-resolved demand rows.  The JSON record keeps ``pricing`` and
-``demand`` as separate keys per config.  CI (via
-``tools/ci/check_serving_smoke.py``) asserts that at full depth per-layer
-pricing stays within 2x and the resolved-demand path within 2.5x of the
-layer-0-broadcast wall clock.  The one-time route-table/link-operator
-construction behind per-layer pricing is warmed before the clock starts —
-it plays the same role as the topology route cache and would otherwise
-dominate reduced smoke runs.
+* ``layers`` — depth scaling: 2 simulated MoE layers (the historical
+  proxy depth, comparable with earlier PRs' records) and 58 — full
+  DeepSeek-V3 depth.  ``REPRO_SERVING_BENCH_LAYERS`` (or
+  ``bench_serving_speed.py --layers``) overrides the base-system depths
+  for ad-hoc sweeps without editing this spec.
+* ``pricing``/``demand`` — the layer-0-broadcast oracle, per-layer
+  placement pricing under layer-0 demand, and the serving default
+  ``per_layer``/``resolved``.
+* ``operator`` — ``dense`` (one matmul against the materialized link
+  operator) vs ``sparse`` (the CSR/segmented-reduction
+  :class:`~repro.network.alltoall.SparseAllToAllPricer`).  The sparse
+  rows let CI gate the sparse-vs-dense wall-clock ratio and the peak
+  operator footprint; at 1024 devices only sparse rows exist.
+
+Every config records ``devices``, ``operator``, the measured peak
+``operator_bytes`` and the analytic ``dense_operator_bytes`` so
+``tools/ci/check_serving_smoke.py`` can gate the scale claim: the
+1024-device run must complete with peak operator memory below a tenth of
+the dense footprint.  The one-time route-table/operator construction
+behind per-layer pricing (dense operator build, or sparse per-layer state
+warm) happens before the clock starts — it plays the same role as the
+topology route cache and would otherwise dominate reduced smoke runs.
 """
 
 import os
@@ -45,13 +55,15 @@ from repro.experiments.figures.shared import strategy_class, strategy_label
 from repro.experiments.registry import register
 from repro.experiments.spec import ExperimentSpec
 from repro.models import QWEN3_235B
-from repro.systems import build_wsc
+from repro.systems import build_multi_wsc, build_wsc
 from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
 
 FULL_ITERATIONS = 300
 ITERATIONS = int(os.environ.get("REPRO_SERVING_BENCH_ITERS", str(FULL_ITERATIONS)))
-SIDE = 8  # 64 devices
-NUM_EXPERTS = 64
+#: The 1024-device case runs at a tenth of the base iteration count — one
+#: iteration there simulates 16x the devices and 4x the experts, and the
+#: wall-clock per iteration is itself the measurement.
+SCALE_ITER_DIVISOR = 10
 #: Proxy depth (2, the pre-stacked default) and full DeepSeek-V3 depth (58).
 DEFAULT_LAYERS = [2, 58]
 LAYERS = [
@@ -65,90 +77,189 @@ LAYERS = [
 #: smoke runs (CI) write a separate, untracked file so they never clobber it.
 BENCH_JSON = "BENCH_serving.json"
 BENCH_SMOKE_JSON = "BENCH_serving.smoke.json"
-#: (pricing, demand) mode pairs — a composite axis because the cartesian
-#: product would include the meaningless (layer0, resolved) point (demand
-#: resolution only feeds the pricer when per-layer pricing is on).
+#: (pricing, demand, operator) triples — a composite sub-axis because the
+#: cartesian product would include meaningless points (demand resolution
+#: only feeds the pricer when per-layer pricing is on; the operator choice
+#: only matters to the per-layer plan).
 MODES = [
-    ["layer0", "broadcast"],
-    ["per_layer", "broadcast"],
-    ["per_layer", "resolved"],
+    ["layer0", "broadcast", "dense"],
+    ["per_layer", "broadcast", "dense"],
+    ["per_layer", "resolved", "dense"],
+    ["per_layer", "resolved", "sparse"],
 ]
+#: The trajectory system: one 8x8 wafer, flat ER, 64 experts.
+BASE_SYSTEM = {
+    "devices": 64,
+    "wafers": 1,
+    "side": 8,
+    "tp": 4,
+    "mapping": "er",
+    "num_experts": 64,
+}
+#: The scale-proof system: four 16x16 wafers (1024 devices), HER mapping,
+#: 256 experts — dense pricing would materialize a ~3.9 GiB operator.
+SCALE_SYSTEM = {
+    "devices": 1024,
+    "wafers": 4,
+    "side": 16,
+    "tp": 16,
+    "mapping": "her",
+    "num_experts": 256,
+}
+
+
+def _case(system, strategy, layers, mode, iterations):
+    pricing, demand, operator = mode
+    return {
+        **system,
+        "strategy": strategy,
+        "layers": layers,
+        "pricing": pricing,
+        "demand": demand,
+        "operator": operator,
+        "iterations": iterations,
+    }
+
+
+def _cases(iterations, layers_axis):
+    scale_iterations = max(1, iterations // SCALE_ITER_DIVISOR)
+    cases = [
+        _case(BASE_SYSTEM, strategy, layers, mode, iterations)
+        for strategy in ["greedy", "non_invasive"]
+        for layers in layers_axis
+        for mode in MODES
+    ]
+    # One sparse point at scale: full depth, the serving-default demand
+    # path, the cheaper balancer (NonInvasiveBalancer's search is ~3x the
+    # pricing cost at 1024 devices and measures the balancer, not the
+    # operator).
+    cases.append(
+        _case(
+            SCALE_SYSTEM,
+            "greedy",
+            58,
+            ["per_layer", "resolved", "sparse"],
+            scale_iterations,
+        )
+    )
+    return cases
+
+
+CASES = _cases(ITERATIONS, LAYERS)
+#: The canonical full-length grid — a run updates the tracked trajectory
+#: record only when its cases match this exactly (reduced iterations and
+#: ad-hoc --layers sweeps both divert to the untracked smoke file).
+FULL_CASES = _cases(FULL_ITERATIONS, DEFAULT_LAYERS)
 
 
 def run_point(params: dict) -> dict:
+    case = params["case"]
     model = replace(
-        QWEN3_235B, name=f"qwen3-{params['num_experts']}e",
-        num_experts=params["num_experts"],
+        QWEN3_235B, name=f"qwen3-{case['num_experts']}e",
+        num_experts=case["num_experts"],
     )
-    system = build_wsc(model, side=SIDE, tp=4, mapping="er")
+    if case["wafers"] > 1:
+        system = build_multi_wsc(
+            model, case["wafers"], case["side"], tp=case["tp"],
+            mapping=case["mapping"],
+        )
+    else:
+        system = build_wsc(
+            model, side=case["side"], tp=case["tp"], mapping=case["mapping"]
+        )
     workload = GatingSimulator(
         model,
         num_groups=system.mapping.dp,
         tokens_per_group=128,
         mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=60),
-        num_layers=params["layers"],
+        num_layers=case["layers"],
         seed=41,
     )
-    pricing, demand = params["mode"]
-    per_layer = pricing == "per_layer"
+    per_layer = case["pricing"] == "per_layer"
+    sparse = case["operator"] == "sparse"
     simulator = ServingSimulator(
         system.device,
         model,
         system.mapping,
         workload,
-        strategy_class(params["strategy"]),
+        strategy_class(case["strategy"]),
         engine_config=EngineConfig(tokens_per_group=128),
         serving_config=ServingConfig(
-            num_iterations=params["iterations"],
+            num_iterations=case["iterations"],
             per_layer_alltoall=per_layer,
-            per_layer_demand=demand == "resolved",
+            per_layer_demand=case["demand"] == "resolved",
+            sparse_pricing=sparse,
         ),
     )
-    if per_layer:
-        # One-time per-mapping link-operator build, outside the timed loop
-        # (same role as the lazily-built topology route cache).
-        from repro.network.alltoall import alltoall_pricer
+    from repro.network.alltoall import (
+        alltoall_pricer,
+        dense_operator_nbytes,
+        sparse_alltoall_pricer,
+    )
 
-        alltoall_pricer(system.mapping)
+    dense_bytes = dense_operator_nbytes(system.mapping)
+    operator_bytes = 0
+    sparse_pricer = None
+    if per_layer:
+        # One-time per-mapping operator build, outside the timed loop
+        # (same role as the lazily-built topology route cache).  The
+        # sparse warm builds every layer's state; a migration-free run
+        # then performs zero rebuild work inside the clock.
+        if sparse:
+            sparse_pricer = sparse_alltoall_pricer(system.mapping)
+            for placement in simulator.layer_placements():
+                sparse_pricer.state_for(placement)
+        else:
+            alltoall_pricer(system.mapping)
+            operator_bytes = dense_bytes
     start = time.perf_counter()
     trace = simulator.run()
     wall = time.perf_counter() - start
+    if sparse_pricer is not None:
+        operator_bytes = sparse_pricer.peak_operator_nbytes
     return {
         "wall_s": wall,
-        "iters_per_s": params["iterations"] / wall,
+        "iters_per_s": case["iterations"] / wall,
         "load_ratio": trace.mean_load_ratio(50),
         "migrations": trace.num_migrations(),
+        "operator_bytes": operator_bytes,
+        "dense_operator_bytes": dense_bytes,
     }
 
 
+def _case_key(case: dict) -> tuple:
+    return tuple(sorted(case.items()))
+
+
 def render(results) -> str:
-    # Only full-length runs over the canonical depth and mode axes update
-    # the tracked trajectory record; reduced iterations AND ad-hoc
-    # --layers sweeps both divert to the untracked smoke file.
-    full_run = (
-        all(result.params["iterations"] >= FULL_ITERATIONS for result in results)
-        and sorted({result.params["layers"] for result in results})
-        == DEFAULT_LAYERS
-        and {tuple(result.params["mode"]) for result in results}
-        == {tuple(mode) for mode in MODES}
-    )
+    full_run = {_case_key(result.params["case"]) for result in results} == {
+        _case_key(case) for case in FULL_CASES
+    }
     emit_json(
         BENCH_JSON if full_run else BENCH_SMOKE_JSON,
         {
             "benchmark": "serving_speed",
-            "system": {"devices": SIDE * SIDE, "mapping": "er", "tp": 4},
+            "systems": [BASE_SYSTEM, SCALE_SYSTEM],
             "configs": [
                 {
-                    "strategy": result.params["strategy"],
-                    "num_experts": result.params["num_experts"],
-                    "layers": result.params["layers"],
-                    "pricing": result.params["mode"][0],
-                    "demand": result.params["mode"][1],
-                    "iterations": result.params["iterations"],
+                    "devices": result.params["case"]["devices"],
+                    "mapping": result.params["case"]["mapping"],
+                    "tp": result.params["case"]["tp"],
+                    "strategy": result.params["case"]["strategy"],
+                    "num_experts": result.params["case"]["num_experts"],
+                    "layers": result.params["case"]["layers"],
+                    "pricing": result.params["case"]["pricing"],
+                    "demand": result.params["case"]["demand"],
+                    "operator": result.params["case"]["operator"],
+                    "iterations": result.params["case"]["iterations"],
                     "wall_s": result.metrics["wall_s"],
                     "iters_per_s": result.metrics["iters_per_s"],
                     "load_ratio": result.metrics["load_ratio"],
                     "migrations": result.metrics["migrations"],
+                    "operator_bytes": result.metrics["operator_bytes"],
+                    "dense_operator_bytes": result.metrics[
+                        "dense_operator_bytes"
+                    ],
                 }
                 for result in results
             ],
@@ -156,33 +267,40 @@ def render(results) -> str:
     )
     rows = []
     for result in results:
+        case = result.params["case"]
         m = result.metrics
         rows.append(
             [
-                strategy_label(result.params["strategy"]),
-                result.params["num_experts"],
-                result.params["layers"],
-                result.params["mode"][0],
-                result.params["mode"][1],
-                result.params["iterations"],
+                case["devices"],
+                strategy_label(case["strategy"]),
+                case["num_experts"],
+                case["layers"],
+                case["pricing"],
+                case["demand"],
+                case["operator"],
+                case["iterations"],
                 f"{m['wall_s']:.2f}s",
                 f"{m['iters_per_s']:.1f} it/s",
                 f"{m['load_ratio']:.2f}",
                 m["migrations"],
+                f"{m['operator_bytes'] / 2**20:.1f} MiB",
             ]
         )
     return format_table(
         [
+            "Devices",
             "Balancer",
             "Experts",
             "Layers",
             "Pricing",
             "Demand",
+            "Operator",
             "Iterations",
             "Wall clock",
             "Throughput",
             "Max/Avg",
             "Migrations",
+            "Op memory",
         ],
         rows,
     )
@@ -193,13 +311,7 @@ SPEC = register(
         name="serving_speed",
         figure="serving_speed",
         description="Wall-clock microbenchmark of the serving simulator loop",
-        grid={
-            "num_experts": [NUM_EXPERTS],
-            "layers": LAYERS,
-            "mode": MODES,
-            "iterations": [ITERATIONS],
-            "strategy": ["greedy", "non_invasive"],
-        },
+        grid={"case": CASES},
         point=run_point,
         render=render,
         cacheable=False,

@@ -23,9 +23,20 @@ layer's all-to-all against its own (possibly migration-diverged) placement
 through dense ``(group, dest) -> link`` operators, cached per
 ``(mapping, per-layer version vector)`` — see the layer-batched pricing
 section below.
+
+A third tier, :class:`SparseAllToAllPricer`, stores the same
+``(group, dest) -> link`` map in CSR form over only the *hosted*
+destination columns and their nonzero holder-route cells, pricing link
+volumes by gather + segmented ``bincount`` reduction instead of one dense
+matmul.  Its per-layer states are keyed on ``ExpertPlacement.version`` so
+migrations rebuild only the touched layers' rows; memory is bounded by
+replica count and route length, not ``O(G * D * links)``, which is what
+makes 1024+-device multi-wafer systems simulable.  See
+``docs/pricing-operators.md`` for the model.
 """
 
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
@@ -517,6 +528,412 @@ def alltoall_pricer(mapping: "Mapping") -> LayeredAllToAllPricer:
     return pricer
 
 
+def dense_operator_nbytes(mapping: "Mapping") -> int:
+    """Bytes the dense :class:`LayeredAllToAllPricer` operator would take.
+
+    ``G * D * 2K`` float64 cells — computed analytically so scale studies
+    can report (and CI can gate on) the dense footprint without ever
+    materializing it.
+    """
+    topology = mapping.topology
+    return mapping.dp * topology.num_devices * 2 * len(topology.links) * 8
+
+
+#: Dense-operator footprint above which auto pricing-mode selection picks
+#: the sparse tier.  Below it the dense operator fits comfortably and its
+#: batched matmul wins; above it (256+-device systems — fig17's 16x16 mesh
+#: prices a ~250 MB operator, a 4-wafer 1024-device system ~4 GB) sparse
+#: is both smaller and faster to build.
+SPARSE_AUTO_THRESHOLD_BYTES = 64 * 2**20
+
+
+def prefer_sparse_pricing(mapping: "Mapping") -> bool:
+    """The auto rule behind ``ServingConfig(sparse_pricing=None)``."""
+    return dense_operator_nbytes(mapping) > SPARSE_AUTO_THRESHOLD_BYTES
+
+
+# -- sparse incremental pricing ----------------------------------------------
+#
+# The dense operator's O(G * D * links) rows are mostly zeros twice over:
+# only the *hosted* destination columns (bounded by total replica count,
+# not D) can receive traffic, and a (group, dest) cell's routes touch only
+# the few links on its holders' paths, not all 2K link slots.  The sparse
+# tier below stores exactly the nonzero cells in CSR-style flat arrays and
+# prices a placement stack by gathering each layer's (demand @ shares)
+# cells into the entry list and reducing with one segmented bincount —
+# identical terms to the dense matmul, reassociated (~1e-12), at
+# O(nonzero entries) memory and work.
+
+
+@dataclass
+class _SparseDestRows:
+    """CSR rows of one destination column: every (group, dest) entry.
+
+    Entries are grouped by ``group`` (ascending) and ordered by link index
+    within a group — the accumulation per cell is bit-identical to the
+    dense operator's (same holder walk, same fancy-index adds).  Depends
+    only on the mapping, so rows are built once per destination and shared
+    by every placement epoch and layer that hosts the destination.
+    """
+
+    link_idx: np.ndarray  # (nnz,) into [0, 2 * num_links)
+    weight: np.ndarray  # (nnz,) holder-fraction-weighted link bytes/byte
+    group: np.ndarray  # (nnz,) demand group of each entry
+    latency: np.ndarray  # (2, num_groups) worst path latency per phase
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.link_idx.nbytes
+            + self.weight.nbytes
+            + self.group.nbytes
+            + self.latency.nbytes
+        )
+
+
+@dataclass
+class _SparseGather:
+    """Flattened pricing structure for one hosted-destination set.
+
+    Shared by every layer state whose placement hosts exactly these
+    destinations (before any migration that is *all* layers), and cached
+    across placement epochs — a migration that returns to a previously
+    seen hosted set pays nothing.
+
+    Entries are sorted by link slot (stable over the destination-major
+    build order), so per-link volumes reduce with ``np.add.reduceat``
+    over the run boundaries in ``row_starts`` — a segmented sum the
+    pricer batches across every layer sharing the gather.
+    """
+
+    dests: np.ndarray  # (n,) hosted destination devices, ascending
+    cell: np.ndarray  # (nnz,) into raveled (num_groups, n) cell matrix
+    weight: np.ndarray  # (nnz,)
+    row_starts: np.ndarray  # (rows,) first entry of each link run
+    row_links: np.ndarray  # (rows,) link slot of each run, in [0, 2K)
+    latency: np.ndarray  # (2, num_groups, n) per-cell worst path latency
+    dense_latency: np.ndarray  # (2,) latency maxima under dense demand
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.dests.nbytes
+            + self.cell.nbytes
+            + self.weight.nbytes
+            + self.row_starts.nbytes
+            + self.row_links.nbytes
+            + self.latency.nbytes
+            + self.dense_latency.nbytes
+        )
+
+
+@dataclass
+class _SparseLayerState:
+    """One layer placement's pricing state at a specific version."""
+
+    version: int
+    gather: _SparseGather
+    shares_small: np.ndarray  # (experts, n) shares over hosted dests only
+
+
+class SparseAllToAllPricer:
+    """CSR-form all-to-all pricer with per-layer incremental states.
+
+    The pricing identity is the dense pricer's: per-link volumes are
+    ``sum_cells cells[g, d] * operator[(g, d), link]``.  Here the operator
+    exists only as flat nonzero entries per hosted destination
+    (:class:`_SparseDestRows`), a placement prices through a
+    :class:`_SparseLayerState` holding its hosted-column share matrix and
+    the shared :class:`_SparseGather`, and a stack of layers reduces with
+    blocked segmented sums (``np.add.reduceat`` over the gather's
+    link-sorted runs, batched across layers that share a gather).
+
+    Incrementality is version-keyed at every level: states are cached per
+    :class:`~repro.mapping.placement.ExpertPlacement` and revalidated
+    against ``placement.version``, so migration-free iterations rebuild
+    nothing (``state_rebuilds`` stays flat — the regression tests assert
+    on it) and a migration burst rebuilds only the mutated layers' states,
+    each of which is a share-column copy plus cache lookups (new
+    destinations pay their route walks once, in ``dest_row_builds``).
+    """
+
+    #: Gather structures retained across placement epochs.  Serving runs
+    #: revisit a handful of hosted sets; the cap only bounds pathological
+    #: churn (every eviction is rebuildable from the dest rows).
+    GATHER_CACHE_CAP = 64
+
+    def __init__(self, mapping: "Mapping") -> None:
+        topology = mapping.topology
+        self.topology = topology
+        self.num_groups = mapping.dp
+        self.num_devices = topology.num_devices
+        self.num_links = len(topology.links)
+        self._table = mapping.token_holder_table()
+        self._dest_rows: dict[int, _SparseDestRows] = {}
+        self._gathers: "OrderedDict[tuple, _SparseGather]" = OrderedDict()
+        self._states: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        #: Layer states (re)built — flat across migration-free iterations.
+        self.state_rebuilds = 0
+        #: Destination columns whose CSR rows were materialized.
+        self.dest_row_builds = 0
+        #: High-water mark of :meth:`operator_nbytes`.
+        self.peak_operator_nbytes = 0
+
+    # -- construction ---------------------------------------------------
+
+    def _rows_for(self, dest: int) -> _SparseDestRows:
+        """CSR rows of one destination column, built on first use."""
+        rows = self._dest_rows.get(dest)
+        if rows is not None:
+            return rows
+        num_links = self.num_links
+        scratch = np.zeros(2 * num_links)
+        idx_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        group_parts: list[np.ndarray] = []
+        latency = np.zeros((2, self.num_groups))
+        for group in range(self.num_groups):
+            touched: list[np.ndarray] = []
+            for holder, fraction in self._table.entries(group, dest):
+                if holder == dest:
+                    continue
+                idx, weights, path_latency = route_pair_arrays(
+                    self.topology, holder, dest
+                )
+                scratch[idx] += fraction * weights
+                touched.append(idx)
+                if path_latency > latency[0, group]:
+                    latency[0, group] = path_latency
+                idx, weights, path_latency = route_pair_arrays(
+                    self.topology, dest, holder
+                )
+                scratch[num_links + idx] += fraction * weights
+                touched.append(num_links + idx)
+                if path_latency > latency[1, group]:
+                    latency[1, group] = path_latency
+            if touched:
+                cols = np.unique(np.concatenate(touched))
+                values = scratch[cols].copy()
+                scratch[cols] = 0.0
+                idx_parts.append(cols)
+                weight_parts.append(values)
+                group_parts.append(np.full(cols.size, group, dtype=np.intp))
+        if idx_parts:
+            rows = _SparseDestRows(
+                link_idx=np.concatenate(idx_parts),
+                weight=np.concatenate(weight_parts),
+                group=np.concatenate(group_parts),
+                latency=latency,
+            )
+        else:
+            rows = _SparseDestRows(
+                link_idx=np.empty(0, dtype=np.intp),
+                weight=np.empty(0),
+                group=np.empty(0, dtype=np.intp),
+                latency=latency,
+            )
+        self._dest_rows[dest] = rows
+        self.dest_row_builds += 1
+        self._note_memory()
+        return rows
+
+    def _gather_for(self, dests: tuple[int, ...]) -> _SparseGather:
+        """The pricing structure for a hosted-destination set, cached."""
+        gather = self._gathers.get(dests)
+        if gather is not None:
+            self._gathers.move_to_end(dests)
+            return gather
+        n = len(dests)
+        idx_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        cell_parts: list[np.ndarray] = []
+        latency = np.zeros((2, self.num_groups, n))
+        for pos, dest in enumerate(dests):
+            rows = self._rows_for(dest)
+            idx_parts.append(rows.link_idx)
+            weight_parts.append(rows.weight)
+            cell_parts.append(rows.group * n + pos)
+            latency[:, :, pos] = rows.latency
+        if idx_parts:
+            link_idx = np.concatenate(idx_parts)
+            weight = np.concatenate(weight_parts)
+            cell = np.concatenate(cell_parts)
+            # Sort by link slot (stable over the destination-major build
+            # order, so the per-link summation order is deterministic) and
+            # record the run boundaries for segmented reduction.
+            order = np.argsort(link_idx, kind="stable")
+            link_idx = link_idx[order]
+            weight = weight[order]
+            cell = cell[order]
+            row_starts = np.flatnonzero(
+                np.r_[True, np.diff(link_idx) > 0]
+            )
+            row_links = link_idx[row_starts]
+        else:
+            cell = np.empty(0, dtype=np.intp)
+            weight = np.empty(0)
+            row_starts = np.empty(0, dtype=np.intp)
+            row_links = np.empty(0, dtype=np.intp)
+        gather = _SparseGather(
+            dests=np.asarray(dests, dtype=np.intp),
+            cell=cell,
+            weight=weight,
+            row_starts=row_starts,
+            row_links=row_links,
+            latency=latency,
+            dense_latency=(
+                latency.max(axis=(1, 2)) if n else np.zeros(2)
+            ),
+        )
+        self._gathers[dests] = gather
+        if len(self._gathers) > self.GATHER_CACHE_CAP:
+            self._gathers.popitem(last=False)
+        self._note_memory()
+        return gather
+
+    def state_for(self, placement: "ExpertPlacement") -> _SparseLayerState:
+        """This placement's pricing state, rebuilt only when its version
+        moved since the cached state was taken."""
+        state = self._states.get(placement)
+        if state is not None and state.version == placement.version:
+            return state
+        shares = placement.destination_shares
+        dests = np.flatnonzero(shares.any(axis=0))
+        gather = self._gather_for(tuple(dests.tolist()))
+        state = _SparseLayerState(
+            version=placement.version,
+            gather=gather,
+            shares_small=shares[:, dests].copy(),
+        )
+        self._states[placement] = state
+        self.state_rebuilds += 1
+        return state
+
+    # -- pricing --------------------------------------------------------
+
+    def link_volumes(
+        self, demand_bytes: np.ndarray, states: list
+    ) -> np.ndarray:
+        """Per-link volumes for a stack of layer states.
+
+        ``demand_bytes`` is one shared ``(groups, experts)`` matrix or a
+        ``(layers, groups, experts)`` stack; returns ``(layers, 2,
+        num_links)`` in the dense pricer's link order.
+        """
+        volumes, _ = self._reduce(demand_bytes, states, with_latencies=False)
+        return volumes
+
+    def durations(
+        self, demand_bytes: np.ndarray, states: list
+    ) -> np.ndarray:
+        """Dispatch+combine durations per layer state: ``(layers,)``.
+
+        Matches :meth:`LayeredAllToAllPricer.durations` on the same
+        placements to summation-order rounding (~1e-12 relative): the
+        active-cell masks agree exactly (nonnegative products cannot round
+        to a spurious zero), the latency maxima are exact, and only the
+        per-link sums reassociate.
+        """
+        volumes, latencies = self._reduce(
+            demand_bytes, states, with_latencies=True
+        )
+        durations = phase_durations_from_link_volumes(
+            self.topology, volumes, latencies
+        )
+        return durations.sum(axis=1)
+
+    #: Layers reduced per segmented-sum batch.  Bounds the transient
+    #: ``(nnz, block)`` gather buffer (~200 MiB at 1024 devices) while
+    #: amortizing each link-run walk across the block's layers.
+    _LAYER_BLOCK = 8
+
+    def _reduce(
+        self, demand_bytes: np.ndarray, states: list, with_latencies: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Segmented reduction over every state's gathered entries.
+
+        Layers sharing one gather (all of them, until a migration splits
+        the hosted sets) reduce together: their cell matrices become the
+        columns of one ``(cells, layers)`` block, a single fancy-index
+        pulls every entry's value for the whole block, and one
+        ``np.add.reduceat`` over the gather's link runs yields per-link
+        volumes for every layer at once.
+        """
+        num_layers = len(states)
+        two_k = 2 * self.num_links
+        stacked = demand_bytes.ndim == 3
+        dense_demand = bool((demand_bytes > 0).all())
+        volumes = np.zeros((num_layers, two_k))
+        latencies = np.zeros((num_layers, 2)) if with_latencies else None
+        cells_by_layer: list[np.ndarray] = []
+        layers_by_gather: dict[int, list[int]] = {}
+        gather_by_id: dict[int, _SparseGather] = {}
+        for layer, state in enumerate(states):
+            demand = demand_bytes[layer] if stacked else demand_bytes
+            cells = demand @ state.shares_small
+            cells_by_layer.append(cells)
+            gather = state.gather
+            layers_by_gather.setdefault(id(gather), []).append(layer)
+            gather_by_id[id(gather)] = gather
+            if not with_latencies:
+                continue
+            if dense_demand:
+                latencies[layer] = gather.dense_latency
+            elif gather.cell.size:
+                active = cells > 0
+                for phase in (0, 1):
+                    latencies[layer, phase] = np.where(
+                        active, gather.latency[phase], 0.0
+                    ).max()
+        for key, layers in layers_by_gather.items():
+            gather = gather_by_id[key]
+            if not gather.cell.size:
+                continue
+            for start in range(0, len(layers), self._LAYER_BLOCK):
+                block = layers[start : start + self._LAYER_BLOCK]
+                cell_cols = np.empty(
+                    (cells_by_layer[block[0]].size, len(block))
+                )
+                for col, layer in enumerate(block):
+                    cell_cols[:, col] = cells_by_layer[layer].ravel()
+                values = cell_cols[gather.cell]
+                values *= gather.weight[:, None]
+                reduced = np.add.reduceat(values, gather.row_starts, axis=0)
+                volumes[np.ix_(block, gather.row_links)] = reduced.T
+        return volumes.reshape(num_layers, 2, self.num_links), latencies
+
+    # -- memory accounting ----------------------------------------------
+
+    def operator_nbytes(self) -> int:
+        """Bytes held by the operator structures (CSR rows + gathers).
+
+        Per-state share columns are excluded — they are the placement
+        representation (the dense tier's share stacks are likewise not
+        operator memory), not the ``(group, dest) -> link`` map.
+        """
+        return sum(rows.nbytes for rows in self._dest_rows.values()) + sum(
+            gather.nbytes for gather in self._gathers.values()
+        )
+
+    def _note_memory(self) -> None:
+        current = self.operator_nbytes()
+        if current > self.peak_operator_nbytes:
+            self.peak_operator_nbytes = current
+
+
+#: mapping -> SparseAllToAllPricer, weakly keyed like _PRICER_CACHE.
+_SPARSE_PRICER_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def sparse_alltoall_pricer(mapping: "Mapping") -> SparseAllToAllPricer:
+    """The cached sparse incremental pricer for this mapping."""
+    pricer = _SPARSE_PRICER_CACHE.get(mapping)
+    if pricer is None:
+        pricer = SparseAllToAllPricer(mapping)
+        _SPARSE_PRICER_CACHE[mapping] = pricer
+    return pricer
+
+
 class LayeredDispatchPlan:
     """Content-grouped pricing plan for one stack of per-layer placements.
 
@@ -542,6 +959,15 @@ class LayeredDispatchPlan:
     tensor (safe because any mutation bumps a layer version and retires
     this plan), and the per-layer oracle engine pays one ``np.stack`` per
     placement epoch.
+
+    With ``sparse=True`` the diverged groups and the resolved stack price
+    through the :class:`SparseAllToAllPricer` instead — same grouping and
+    same caching discipline, but the plan holds per-layer sparse states
+    (version-validated against each placement) rather than dense share
+    stacks, and the dense operator is never materialized.  A plan is built
+    for exactly one mode; :func:`layered_dispatch_plan` keys its cache on
+    the mode so toggling ``sparse_pricing`` mid-session can never serve a
+    plan priced the other way.
     """
 
     def __init__(
@@ -549,12 +975,16 @@ class LayeredDispatchPlan:
         mapping: "Mapping",
         placements: list,
         stacked_shares: np.ndarray | None = None,
+        sparse: bool = False,
     ) -> None:
-        self.pricer = alltoall_pricer(mapping)
+        self.sparse = sparse
+        self.pricer = None if sparse else alltoall_pricer(mapping)
+        self.sparse_pricer = sparse_alltoall_pricer(mapping) if sparse else None
         self._placements = placements
         self._stacked_shares = stacked_shares
         self._resolved_shares: np.ndarray | None = None
         self._resolved_latencies: np.ndarray | None = None
+        self._resolved_states: list | None = None
         group_of_key: dict[bytes, int] = {}
         representatives: list[int] = []
         group_index = np.empty(len(placements), dtype=np.intp)
@@ -574,18 +1004,24 @@ class LayeredDispatchPlan:
         self.uniform = self.num_groups == 1
         if not self.uniform:
             # Group 0 anchors layer 0 (first-occurrence numbering); only
-            # the diverged groups need the dense pricer.  Shares and the
-            # dense-demand latency maxima are iteration-invariant, so both
-            # are frozen into the plan.
-            self.diverged_shares = np.stack(
-                [
-                    placements[layer].destination_shares
+            # the diverged groups need a pricer.  Shares (dense) or layer
+            # states (sparse) and the dense-demand latency maxima are
+            # iteration-invariant, so both are frozen into the plan.
+            if sparse:
+                self._diverged_states = [
+                    self.sparse_pricer.state_for(placements[layer])
                     for layer in representatives[1:]
                 ]
-            )
-            self._dense_latencies = self.pricer.dense_demand_latencies(
-                self.diverged_shares
-            )
+            else:
+                self.diverged_shares = np.stack(
+                    [
+                        placements[layer].destination_shares
+                        for layer in representatives[1:]
+                    ]
+                )
+                self._dense_latencies = self.pricer.dense_demand_latencies(
+                    self.diverged_shares
+                )
 
     def alltoall_durations(
         self, demand_bytes: np.ndarray, layer0_duration: float
@@ -598,9 +1034,14 @@ class LayeredDispatchPlan:
         per_group = np.empty(self.num_groups)
         per_group[0] = layer0_duration
         if not self.uniform:
-            per_group[1:] = self.pricer.durations(
-                demand_bytes, self.diverged_shares, self._dense_latencies
-            )
+            if self.sparse:
+                per_group[1:] = self.sparse_pricer.durations(
+                    demand_bytes, self._diverged_states
+                )
+            else:
+                per_group[1:] = self.pricer.durations(
+                    demand_bytes, self.diverged_shares, self._dense_latencies
+                )
         return per_group[self.group_index]
 
     def _resolved_stack(self) -> tuple[np.ndarray, np.ndarray]:
@@ -621,6 +1062,17 @@ class LayeredDispatchPlan:
             )
         return self._resolved_shares, self._resolved_latencies
 
+    def _resolved_state_list(self) -> list:
+        """Layers-past-the-first sparse states, built lazily like
+        :meth:`_resolved_stack`.  ``state_for`` is version-validated, so
+        unmutated layers reuse their cached states even across plans."""
+        if self._resolved_states is None:
+            self._resolved_states = [
+                self.sparse_pricer.state_for(placement)
+                for placement in self._placements[1:]
+            ]
+        return self._resolved_states
+
     def alltoall_durations_resolved(
         self, demand_stack: np.ndarray, layer0_duration: float
     ) -> np.ndarray:
@@ -639,28 +1091,37 @@ class LayeredDispatchPlan:
         durations = np.empty(num_layers)
         durations[0] = layer0_duration
         if num_layers > 1:
-            shares, dense_latencies = self._resolved_stack()
-            durations[1:] = self.pricer.durations(
-                demand_stack[1:], shares, dense_latencies
-            )
+            if self.sparse:
+                durations[1:] = self.sparse_pricer.durations(
+                    demand_stack[1:], self._resolved_state_list()
+                )
+            else:
+                shares, dense_latencies = self._resolved_stack()
+                durations[1:] = self.pricer.durations(
+                    demand_stack[1:], shares, dense_latencies
+                )
         return durations
 
 
-#: anchor placement -> {id(mapping): (mapping weakref, version vector, plan)}.
+#: anchor placement -> {(id(mapping), sparse):
+#:     (mapping weakref, version vector, plan)}.
 #: The anchor is the StackedPlacement (stacked engine) or layer 0's
 #: ExpertPlacement (per-layer engine); the version vector — one counter per
 #: layer — invalidates the grouping exactly when a migration or eviction
-#: mutates any layer.
+#: mutates any layer.  The pricing mode is part of the key: a plan is
+#: built for one mode, and toggling ``sparse_pricing`` mid-session must
+#: never resolve to a plan priced the other way.
 _LAYERED_PLAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def layered_dispatch_plan(
-    mapping: "Mapping", anchor, placements: list
+    mapping: "Mapping", anchor, placements: list, sparse: bool = False
 ) -> LayeredDispatchPlan:
-    """The cached layered plan for this (mapping, stacked version vector)."""
+    """The cached layered plan for this (mapping, mode, version vector)."""
     per_mapping = _LAYERED_PLAN_CACHE.setdefault(anchor, {})
     versions = tuple(placement.version for placement in placements)
-    entry = per_mapping.get(id(mapping))
+    key = (id(mapping), sparse)
+    entry = per_mapping.get(key)
     if entry is not None:
         mapping_ref, cached_versions, plan = entry
         if mapping_ref() is mapping and cached_versions == versions:
@@ -672,6 +1133,8 @@ def layered_dispatch_plan(
     anchor_shares = getattr(anchor, "destination_shares", None)
     if anchor_shares is not None and anchor_shares.ndim != 3:
         anchor_shares = None
-    plan = LayeredDispatchPlan(mapping, placements, stacked_shares=anchor_shares)
-    per_mapping[id(mapping)] = (weakref.ref(mapping), versions, plan)
+    plan = LayeredDispatchPlan(
+        mapping, placements, stacked_shares=anchor_shares, sparse=sparse
+    )
+    per_mapping[key] = (weakref.ref(mapping), versions, plan)
     return plan

@@ -151,15 +151,25 @@ class AzureLikeMixer(ScenarioMixer):
             raw = np.clip(raw * (1.0 + self._noise_state), 1e-6, None)
         return raw / raw.sum()
 
+    #: AR(1) recursion constants: state' = DECAY * state + INNOV * z.
+    _DECAY = 0.9
+    _INNOV = 0.1
+    #: Scan block size — bounds the ``DECAY ** -j`` rescaling factors to
+    #: ~1e6 so the closed-form scan never overflows or loses precision,
+    #: while a typical model depth (<= 128 layers) stays a single block.
+    _SCAN_BLOCK = 128
+
     def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
         """Per-layer weights with one batched normal draw.
 
         The raised-cosine base depends only on the iteration, so it is
-        computed once; the AR(1) noise recursion still advances once per
-        layer (matching ``num_layers`` sequential :meth:`weights` calls
-        bit-for-bit — a batched ``normal`` consumes the RNG stream in the
-        same order as per-call draws), leaving only O(scenarios) work in
-        the Python loop.
+        computed once; the AR(1) noise recursion is evaluated as a
+        cumulative scan (:meth:`_scan_noise`) over one batched ``normal``
+        draw — the RNG stream is consumed in exactly the same order as
+        ``num_layers`` sequential :meth:`weights` calls, and the scan is
+        the recursion's closed form (equal to ~1e-15 relative; the
+        reassociation means the floats are not bit-identical to the
+        sequential path).
         """
         n = len(self.scenarios)
         phases = (
@@ -170,11 +180,35 @@ class AzureLikeMixer(ScenarioMixer):
             weights = raw / raw.sum()
             return np.broadcast_to(weights, (num_layers, n)).copy()
         normals = self._rng.normal(0.0, self.noise, size=(num_layers, n))
-        states = np.empty((num_layers, n))
-        state = self._noise_state
-        for layer in range(num_layers):
-            state = 0.9 * state + 0.1 * normals[layer]
-            states[layer] = state
-        self._noise_state = state.copy()
+        states = self._scan_noise(normals)
+        self._noise_state = states[-1].copy()
         scaled = np.clip(raw * (1.0 + states), 1e-6, None)
         return scaled / scaled.sum(axis=1, keepdims=True)
+
+    def _scan_noise(self, normals: np.ndarray) -> np.ndarray:
+        """All AR(1) states for a block of innovations, as one scan.
+
+        ``s_k = DECAY^(k+1) * s_prev + INNOV * sum_j DECAY^(k-j) * z_j``
+        is computed by rescaling innovations with ``DECAY^-j``, one
+        ``cumsum``, and scaling back with ``DECAY^(k+1)`` — O(layers *
+        scenarios) vector work instead of a Python loop over layers.
+        Blocks of :data:`_SCAN_BLOCK` keep the rescaling factors bounded
+        (``DECAY^-j`` grows geometrically); the carried state chains
+        blocks exactly like the sequential recursion.
+        """
+        decay, innov = self._DECAY, self._INNOV
+        num_layers, n = normals.shape
+        states = np.empty((num_layers, n))
+        state = self._noise_state
+        for start in range(0, num_layers, self._SCAN_BLOCK):
+            chunk = normals[start : start + self._SCAN_BLOCK]
+            size = chunk.shape[0]
+            powers = decay ** np.arange(1, size + 1)
+            weighted = np.cumsum(
+                chunk * (decay ** -np.arange(size))[:, None], axis=0
+            )
+            states[start : start + size] = powers[:, None] * (
+                state + (innov / decay) * weighted
+            )
+            state = states[start + size - 1]
+        return states

@@ -24,6 +24,7 @@ def config(
     demand="broadcast",
     wall_s=1.0,
     iterations=150,
+    **extra,
 ):
     return {
         "strategy": strategy,
@@ -36,13 +37,13 @@ def config(
         "iters_per_s": iterations / wall_s,
         "load_ratio": 1.5,
         "migrations": 100,
+        **extra,
     }
 
 
 def record(configs):
     return {
         "benchmark": "serving_speed",
-        "system": {"devices": 64, "mapping": "er", "tp": 4},
         "configs": configs,
     }
 
@@ -64,6 +65,47 @@ def full_grid(walls=None):
     return configs
 
 
+def devices_grid(sparse_wall=1.0, scale_mem=150 * 2**20):
+    """The post-devices-axis shape: a 64-device group with dense and
+    sparse operators plus a sparse-only 1024-device scale group."""
+    configs = []
+    for pricing, demand, operator in (
+        ("layer0", "broadcast", "dense"),
+        ("per_layer", "broadcast", "dense"),
+        ("per_layer", "resolved", "dense"),
+        ("per_layer", "resolved", "sparse"),
+    ):
+        for layers in (2, 58):
+            configs.append(
+                config(
+                    layers=layers,
+                    pricing=pricing,
+                    demand=demand,
+                    wall_s=sparse_wall if operator == "sparse" else 1.0,
+                    devices=64,
+                    operator=operator,
+                    operator_bytes=(
+                        400_000 if operator == "sparse" else 3_670_016
+                    ),
+                    dense_operator_bytes=3_670_016,
+                )
+            )
+    configs.append(
+        config(
+            layers=58,
+            pricing="per_layer",
+            demand="resolved",
+            wall_s=60.0,
+            iterations=15,
+            devices=1024,
+            operator="sparse",
+            operator_bytes=scale_mem,
+            dense_operator_bytes=4127 * 2**20,
+        )
+    )
+    return configs
+
+
 def run_checks(configs, *argv):
     args = check_serving_smoke.parse_args(["record.json", *argv])
     return check_serving_smoke.check_record(record(configs), args)
@@ -80,6 +122,14 @@ EXPECT_AXES = (
     "broadcast,resolved",
 )
 
+EXPECT_DEVICES_AXES = (
+    *EXPECT_AXES,
+    "--expect-devices",
+    "64,1024",
+    "--max-sparse-ratio",
+    "2.0",
+)
+
 
 class TestPassingRecord:
     def test_full_grid_passes(self):
@@ -92,6 +142,9 @@ class TestPassingRecord:
             (58, "per_layer", "resolved"): 2.4,
         }
         assert run_checks(full_grid(walls), *EXPECT_AXES) == []
+
+    def test_devices_grid_passes(self):
+        assert run_checks(devices_grid(), *EXPECT_DEVICES_AXES) == []
 
     def test_main_exit_zero(self, tmp_path, capsys):
         path = tmp_path / "smoke.json"
@@ -121,11 +174,31 @@ class TestAxisViolations:
         errors = run_checks(configs, *EXPECT_AXES)
         assert any("demand axis" in error for error in errors)
 
+    def test_missing_devices_group(self):
+        configs = [c for c in devices_grid() if c["devices"] == 64]
+        errors = run_checks(configs, *EXPECT_DEVICES_AXES)
+        assert any("devices axis" in error for error in errors)
+
+    def test_old_record_without_devices_flagged(self):
+        """Pre-devices-axis records read as one unlabeled group, so the
+        devices expectation flags them instead of crashing."""
+        errors = run_checks(full_grid(), "--expect-devices", "64,1024")
+        assert any("devices axis" in error for error in errors)
+
     def test_wrong_iteration_count(self):
         configs = full_grid()
         configs[0]["iterations"] = 30
         errors = run_checks(configs, *EXPECT_AXES)
         assert any("iterations" in error for error in errors)
+
+    def test_scale_group_iterations_divided(self):
+        """The 1024-device group runs expected/divisor iterations; the
+        base count there is a violation, the divided count passes."""
+        assert run_checks(devices_grid(), *EXPECT_DEVICES_AXES) == []
+        configs = devices_grid()
+        configs[-1]["iterations"] = 150
+        errors = run_checks(configs, *EXPECT_DEVICES_AXES)
+        assert any("expected 15 iterations" in error for error in errors)
 
     def test_nonpositive_wall(self):
         configs = full_grid()
@@ -160,6 +233,23 @@ class TestRatioGates:
         errors = run_checks(full_grid(walls), "--max-demand-ratio", "2.5")
         assert any("resolved demand" in error and "2.60x" in error for error in errors)
 
+    def test_sparse_ratio_over_budget(self):
+        errors = run_checks(
+            devices_grid(sparse_wall=2.1), *EXPECT_DEVICES_AXES
+        )
+        assert any(
+            "sparse operator" in error and "2.10x" in error for error in errors
+        )
+
+    def test_sparse_ratio_not_gated_by_default(self):
+        assert run_checks(devices_grid(sparse_wall=5.0), *EXPECT_AXES) == []
+
+    def test_sparse_ratio_demands_a_pair(self):
+        """--max-sparse-ratio against a record with no sparse/dense pair
+        must fail loudly rather than silently never enforcing."""
+        errors = run_checks(full_grid(), "--max-sparse-ratio", "2.0")
+        assert any("no sparse/dense" in error for error in errors)
+
     def test_gate_only_at_deepest_depth(self):
         """A slow shallow config must not trip the gate (2-layer walls are
         too small to gate on; only the deepest depth is budgeted)."""
@@ -180,7 +270,7 @@ class TestRatioGates:
         ]
         errors = run_checks(configs)
         assert any(
-            "no (per_layer, resolved) config at the gated depth" in error
+            "no (per_layer/resolved/dense) config at the gated depth" in error
             for error in errors
         )
         # Same hole via the axis expectations alone (record never measured
@@ -200,7 +290,9 @@ class TestRatioGates:
             config(layers=58, pricing="per_layer", demand="resolved", wall_s=2.0)
         ]
         errors = run_checks(configs)
-        assert any("no (layer0, broadcast) baseline" in error for error in errors)
+        assert any(
+            "no (layer0/broadcast/dense) baseline" in error for error in errors
+        )
 
     def test_custom_budget_tightens_gate(self):
         walls = {
@@ -210,6 +302,38 @@ class TestRatioGates:
         assert run_checks(full_grid(walls)) == []
         errors = run_checks(full_grid(walls), "--max-demand-ratio", "1.5")
         assert len(errors) == 1
+
+    def test_scale_group_exempt_from_wall_gates(self):
+        """The sparse-only 1024-device group has no layer-0 baseline by
+        design; its walls must not produce missing-baseline errors."""
+        errors = run_checks(devices_grid(), *EXPECT_DEVICES_AXES)
+        assert not any("1024dev" in error and "baseline" in error for error in errors)
+
+
+class TestMemoryGate:
+    def test_scale_memory_over_fraction(self):
+        configs = devices_grid(scale_mem=500 * 2**20)
+        errors = run_checks(configs, *EXPECT_DEVICES_AXES)
+        assert any(
+            "1024dev" in error and "operator memory" in error for error in errors
+        )
+
+    def test_custom_fraction_tightens_gate(self):
+        configs = devices_grid(scale_mem=150 * 2**20)  # ~3.6% of dense
+        assert run_checks(configs, *EXPECT_DEVICES_AXES) == []
+        errors = run_checks(
+            configs, *EXPECT_DEVICES_AXES, "--max-operator-mem-fraction", "0.03"
+        )
+        assert any("operator memory" in error for error in errors)
+
+    def test_sparse_config_must_record_bytes(self):
+        configs = devices_grid()
+        del configs[-1]["operator_bytes"]
+        errors = run_checks(configs, *EXPECT_DEVICES_AXES)
+        assert any(
+            "must record positive" in error and "1024dev" in error
+            for error in errors
+        )
 
 
 class TestMainErrors:

@@ -74,3 +74,51 @@ class TestAzureLikeMixer:
     def test_rejects_bad_noise(self):
         with pytest.raises(ValueError):
             AzureLikeMixer(ALL, noise=1.5)
+
+
+class TestWeightsBatchScan:
+    """The vectorized AR(1) scan against sequential weights() calls.
+
+    The scan reassociates the recursion's floating-point sums (closed
+    form instead of layer-by-layer), so equality is ~1e-12 relative, not
+    bitwise; the RNG stream is consumed in exactly the sequential order.
+    """
+
+    @pytest.mark.parametrize("num_layers", [1, 3, 58, 300])
+    def test_matches_sequential_weights(self, num_layers):
+        batched = AzureLikeMixer(ALL, period_iters=60, seed=3)
+        sequential = AzureLikeMixer(ALL, period_iters=60, seed=3)
+        got = batched.weights_batch(iteration=5, num_layers=num_layers)
+        want = np.stack(
+            [sequential.weights(5) for _ in range(num_layers)]
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=0.0)
+        np.testing.assert_allclose(
+            batched._noise_state, sequential._noise_state, rtol=1e-12, atol=0.0
+        )
+
+    def test_rng_stream_stays_aligned(self):
+        batched = AzureLikeMixer(ALL, period_iters=60, seed=3)
+        sequential = AzureLikeMixer(ALL, period_iters=60, seed=3)
+        batched.weights_batch(iteration=0, num_layers=7)
+        for _ in range(7):
+            sequential.weights(0)
+        assert batched._rng.integers(1 << 30) == sequential._rng.integers(1 << 30)
+
+    def test_successive_batches_chain_the_state(self):
+        """Two batch calls equal one long sequential run — the carried
+        noise state chains across calls (and across scan blocks, since
+        300 > _SCAN_BLOCK)."""
+        batched = AzureLikeMixer(ALL, period_iters=60, seed=9)
+        sequential = AzureLikeMixer(ALL, period_iters=60, seed=9)
+        first = batched.weights_batch(iteration=2, num_layers=300)
+        second = batched.weights_batch(iteration=2, num_layers=40)
+        want = np.stack([sequential.weights(2) for _ in range(340)])
+        got = np.concatenate([first, second])
+        np.testing.assert_allclose(got, want, rtol=1e-11, atol=0.0)
+
+    def test_noise_free_batch_is_broadcast(self):
+        mixer = AzureLikeMixer(ALL, period_iters=60, noise=0.0)
+        batch = mixer.weights_batch(iteration=4, num_layers=5)
+        np.testing.assert_array_equal(batch, np.broadcast_to(batch[0], batch.shape))
+        np.testing.assert_array_equal(batch[0], mixer.weights(4))

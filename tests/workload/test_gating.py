@@ -132,8 +132,16 @@ class TestVectorizedLoopParity:
 
     @pytest.mark.parametrize("balanced", [False, True])
     def test_counts_and_state_bit_identical(self, balanced):
-        mixer_a = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
-        mixer_b = AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=40)
+        # Noise-free drifting mixers: the AR(1) scan in weights_batch
+        # reassociates floats (sequential parity is pinned to 1e-12 in
+        # test_arrivals), so the bitwise multinomial draw-order oracle
+        # here runs on the noise-free path, which is exact either way.
+        mixer_a = AzureLikeMixer(
+            [CHAT, CODING, MATH, PRIVACY], period_iters=40, noise=0.0
+        )
+        mixer_b = AzureLikeMixer(
+            [CHAT, CODING, MATH, PRIVACY], period_iters=40, noise=0.0
+        )
         new = make_sim(mixer=mixer_a, num_layers=3, balanced=balanced)
         reference = make_sim(mixer=mixer_b, num_layers=3, balanced=balanced)
         for _ in range(12):

@@ -3,11 +3,20 @@
 
 Validates a ``BENCH_serving.smoke.json`` (or the full-length
 ``BENCH_serving.json``) emitted by the ``serving_speed`` spec: the grid
-must cover the expected depth/pricing/demand axes, every config must have
-a positive wall clock at the expected iteration count, and — at the
-deepest measured layer count — per-layer all-to-all pricing and
-demand-resolved pricing must stay within their wall-clock budgets of the
-layer-0-broadcast baseline.
+must cover the expected depth/pricing/demand/devices axes, every config
+must have a positive wall clock at the expected iteration count, and —
+per device-count group, at its deepest measured layer count — per-layer
+all-to-all pricing and demand-resolved pricing must stay within their
+wall-clock budgets of the layer-0-broadcast baseline, the sparse
+operator within its budget of the dense operator, and — in sparse-only
+device groups, the systems dense pricing cannot reach — peak operator
+memory below the configured fraction of the analytic dense-operator
+footprint (the 1024-device scale claim).
+
+Wall-clock gates run within each ``devices`` group because the systems
+are not comparable across groups, and skip sparse-only groups — the
+1024-device scale system measures no dense walls (its dense operator
+would be ~3.9 GiB), so only the memory-fraction gate applies there.
 
 This is the logic that used to live as an inline heredoc in
 ``.github/workflows/ci.yml``; as a checked-in module it has unit tests
@@ -17,8 +26,9 @@ This is the logic that used to live as an inline heredoc in
     python tools/ci/check_serving_smoke.py \
         benchmarks/results/BENCH_serving.smoke.json \
         --expect-layers 2,58 --expect-pricing layer0,per_layer \
-        --expect-demand broadcast,resolved \
-        --max-pricing-ratio 2.0 --max-demand-ratio 2.5
+        --expect-demand broadcast,resolved --expect-devices 64,1024 \
+        --max-pricing-ratio 2.0 --max-demand-ratio 2.5 \
+        --max-sparse-ratio 2.0 --max-operator-mem-fraction 0.1
 
 Exit status 0 means every check passed; 1 reports each violation on
 stderr (CI retries once on the assumption of a noisy runner).
@@ -51,9 +61,17 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         "--expect-iterations",
         type=int,
         default=None,
-        help="require every config to have run exactly this many "
-        "iterations (reduced smoke runs must not be mistaken for "
-        "full-length records)",
+        help="require every base-system config to have run exactly this "
+        "many iterations (reduced smoke runs must not be mistaken for "
+        "full-length records); scaled-down groups declare their divisor "
+        "via --scale-iter-divisor",
+    )
+    parser.add_argument(
+        "--scale-iter-divisor",
+        type=int,
+        default=10,
+        help="device groups above the smallest run 1/Nth of the expected "
+        "iterations (default: %(default)s, the spec's divisor)",
     )
     parser.add_argument(
         "--expect-layers",
@@ -77,6 +95,14 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="require the demand axis to be exactly this set",
     )
     parser.add_argument(
+        "--expect-devices",
+        type=_csv_ints,
+        default=None,
+        metavar="N1,N2,...",
+        help="require the device-count axis to be exactly this set "
+        "(records predating the axis read as a single unlabeled group)",
+    )
+    parser.add_argument(
         "--max-pricing-ratio",
         type=float,
         default=2.0,
@@ -92,7 +118,34 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         "(layer0, broadcast) at the deepest measured depth "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--max-sparse-ratio",
+        type=float,
+        default=None,
+        help="wall-clock budget of the sparse operator relative to the "
+        "dense operator on the (per_layer, resolved) path at the deepest "
+        "measured depth; requires at least one sparse/dense pair in the "
+        "record (default: not gated)",
+    )
+    parser.add_argument(
+        "--max-operator-mem-fraction",
+        type=float,
+        default=0.1,
+        help="ceiling on every sparse config's peak operator_bytes as a "
+        "fraction of its analytic dense_operator_bytes "
+        "(default: %(default)s)",
+    )
     return parser.parse_args(argv)
+
+
+def _label(config: dict) -> str:
+    devices = config.get("devices")
+    prefix = f"{devices}dev/" if devices is not None else ""
+    return (
+        f"{prefix}{config.get('strategy')}@{config.get('layers')}"
+        f"/{config.get('pricing')}/{config.get('demand', 'broadcast')}"
+        f"/{config.get('operator', 'dense')}"
+    )
 
 
 def check_record(data: dict, args: argparse.Namespace) -> list[str]:
@@ -102,21 +155,22 @@ def check_record(data: dict, args: argparse.Namespace) -> list[str]:
     if not configs:
         return ["record has no configs"]
 
+    base_devices = min(
+        (config.get("devices") or 0 for config in configs), default=0
+    )
     for config in configs:
-        label = (
-            f"{config.get('strategy')}@{config.get('layers')}"
-            f"/{config.get('pricing')}/{config.get('demand', 'broadcast')}"
-        )
+        label = _label(config)
         if not config.get("wall_s", 0) > 0:
             errors.append(f"{label}: wall_s must be > 0, got {config.get('wall_s')}")
-        if (
-            args.expect_iterations is not None
-            and config.get("iterations") != args.expect_iterations
-        ):
-            errors.append(
-                f"{label}: expected {args.expect_iterations} iterations, "
-                f"got {config.get('iterations')}"
-            )
+        if args.expect_iterations is not None:
+            expected = args.expect_iterations
+            if (config.get("devices") or 0) > base_devices:
+                expected = max(1, expected // args.scale_iter_divisor)
+            if config.get("iterations") != expected:
+                errors.append(
+                    f"{label}: expected {expected} iterations, "
+                    f"got {config.get('iterations')}"
+                )
 
     layers = {config.get("layers") for config in configs}
     if args.expect_layers is not None and layers != set(args.expect_layers):
@@ -136,62 +190,164 @@ def check_record(data: dict, args: argparse.Namespace) -> list[str]:
             f"demand axis {sorted(demand)} != expected "
             f"{sorted(set(args.expect_demand))}"
         )
+    devices_axis = {config.get("devices") for config in configs}
+    if args.expect_devices is not None and devices_axis != set(
+        args.expect_devices
+    ):
+        errors.append(
+            f"devices axis {sorted(devices_axis, key=str)} != expected "
+            f"{sorted(set(args.expect_devices))}"
+        )
 
-    # Wall-clock gates at the deepest measured depth, where per-layer
-    # machinery costs the most (migrations diverge every layer).
-    depth = max(layers)
-    walls = {
-        (
-            config.get("strategy"),
-            config.get("layers"),
-            config.get("pricing"),
-            config.get("demand", "broadcast"),
-        ): config.get("wall_s", 0.0)
+    # Peak-operator-memory gate: in sparse-only device groups — systems
+    # the dense operator cannot price, the scale-proof claim at 1024
+    # devices — every config must record its footprint and stay below
+    # the fraction of the analytic dense operator.  (Groups that also
+    # measure dense walls are small systems where the ratio is naturally
+    # high; sparsity is a scale property, not a small-system one.)
+    dense_groups = {
+        config.get("devices")
         for config in configs
+        if config.get("operator", "dense") == "dense"
     }
-    modes_present = {
-        (config.get("pricing"), config.get("demand", "broadcast"))
-        for config in configs
-    }
-    gates = [
-        ("per-layer pricing", "per_layer", "broadcast", args.max_pricing_ratio),
-        ("resolved demand", "per_layer", "resolved", args.max_demand_ratio),
-    ]
-    for strategy in sorted({config.get("strategy") for config in configs}):
-        baseline = walls.get((strategy, depth, "layer0", "broadcast"))
-        for label, gate_pricing, gate_demand, budget in gates:
-            wall = walls.get((strategy, depth, gate_pricing, gate_demand))
-            if wall is None:
-                # A mode the record measures anywhere (or that the axis
-                # expectations demand) must show up at the gated depth —
-                # otherwise a partial run would pass with the wall-clock
-                # budget never actually enforced.
-                expected_by_axes = (
-                    args.expect_pricing is not None
-                    and gate_pricing in args.expect_pricing
-                    and args.expect_demand is not None
-                    and gate_demand in args.expect_demand
+    for config in configs:
+        if config.get("operator", "dense") != "sparse":
+            continue
+        if config.get("devices") in dense_groups:
+            continue
+        label = _label(config)
+        operator_bytes = config.get("operator_bytes")
+        dense_bytes = config.get("dense_operator_bytes")
+        if not operator_bytes or not dense_bytes:
+            errors.append(
+                f"{label}: sparse config must record positive "
+                f"operator_bytes and dense_operator_bytes, got "
+                f"{operator_bytes}/{dense_bytes}"
+            )
+            continue
+        fraction = operator_bytes / dense_bytes
+        print(
+            f"sparse operator memory {label}: {fraction * 100:.1f}% of "
+            f"dense (budget {args.max_operator_mem_fraction * 100:.0f}%)"
+        )
+        if fraction >= args.max_operator_mem_fraction:
+            errors.append(
+                f"{label}: sparse operator memory {fraction * 100:.1f}% of "
+                f"the dense footprint (budget "
+                f"{args.max_operator_mem_fraction * 100:.0f}%)"
+            )
+
+    # Wall-clock gates per device group, at its deepest measured depth —
+    # per-layer machinery costs the most there (migrations diverge every
+    # layer).  Groups without a layer-0 baseline (the sparse-only scale
+    # system) carry no comparable walls and are skipped.
+    sparse_pairs_checked = 0
+    groups = sorted({config.get("devices") for config in configs}, key=str)
+    for group in groups:
+        group_configs = [
+            config for config in configs if config.get("devices") == group
+        ]
+        if all(
+            config.get("operator", "dense") == "sparse"
+            for config in group_configs
+        ):
+            # Sparse-only group (the scale system): no dense walls exist
+            # to compare against; the memory gate above covered it.
+            continue
+        prefix = f"{group}dev/" if group is not None else ""
+        depth = max(config.get("layers") for config in group_configs)
+        walls = {
+            (
+                config.get("strategy"),
+                config.get("layers"),
+                config.get("pricing"),
+                config.get("demand", "broadcast"),
+                config.get("operator", "dense"),
+            ): config.get("wall_s", 0.0)
+            for config in group_configs
+        }
+        modes_present = {
+            (
+                config.get("pricing"),
+                config.get("demand", "broadcast"),
+                config.get("operator", "dense"),
+            )
+            for config in group_configs
+        }
+        gates = [
+            (
+                "per-layer pricing",
+                ("per_layer", "broadcast", "dense"),
+                ("layer0", "broadcast", "dense"),
+                args.max_pricing_ratio,
+            ),
+            (
+                "resolved demand",
+                ("per_layer", "resolved", "dense"),
+                ("layer0", "broadcast", "dense"),
+                args.max_demand_ratio,
+            ),
+        ]
+        if args.max_sparse_ratio is not None:
+            gates.append(
+                (
+                    "sparse operator",
+                    ("per_layer", "resolved", "sparse"),
+                    ("per_layer", "resolved", "dense"),
+                    args.max_sparse_ratio,
                 )
-                if (gate_pricing, gate_demand) in modes_present or expected_by_axes:
-                    errors.append(
-                        f"{strategy}@{depth}: no ({gate_pricing}, "
-                        f"{gate_demand}) config at the gated depth to "
-                        f"check {label} against"
+            )
+        strategies = sorted(
+            {config.get("strategy") for config in group_configs}
+        )
+        for strategy in strategies:
+            for label, gate_mode, base_mode, budget in gates:
+                wall = walls.get((strategy, depth, *gate_mode))
+                if wall is None:
+                    # A mode the group measures anywhere (or that the
+                    # axis expectations demand) must show up at the gated
+                    # depth — otherwise a partial run would pass with the
+                    # wall-clock budget never actually enforced.
+                    expected_by_axes = (
+                        args.expect_pricing is not None
+                        and gate_mode[0] in args.expect_pricing
+                        and args.expect_demand is not None
+                        and gate_mode[1] in args.expect_demand
+                        and gate_mode[2] == "dense"
                     )
-                continue
-            if baseline is None or baseline <= 0:
-                errors.append(
-                    f"{strategy}@{depth}: no (layer0, broadcast) baseline "
-                    f"to gate {label} against"
+                    if gate_mode in modes_present or expected_by_axes:
+                        errors.append(
+                            f"{prefix}{strategy}@{depth}: no "
+                            f"({'/'.join(gate_mode)}) config at the gated "
+                            f"depth to check {label} against"
+                        )
+                    continue
+                baseline = walls.get((strategy, depth, *base_mode))
+                if baseline is None or baseline <= 0:
+                    errors.append(
+                        f"{prefix}{strategy}@{depth}: no "
+                        f"({'/'.join(base_mode)}) baseline to gate "
+                        f"{label} against"
+                    )
+                    continue
+                if label == "sparse operator":
+                    sparse_pairs_checked += 1
+                ratio = wall / baseline
+                print(
+                    f"{label} cost {prefix}{strategy}@{depth}: "
+                    f"{ratio:.2f}x (budget {budget}x)"
                 )
-                continue
-            ratio = wall / baseline
-            print(f"{label} cost {strategy}@{depth}: {ratio:.2f}x (budget {budget}x)")
-            if ratio >= budget:
-                errors.append(
-                    f"{strategy}@{depth}: {label} wall clock {ratio:.2f}x "
-                    f"over the layer-0-broadcast baseline (budget {budget}x)"
-                )
+                if ratio >= budget:
+                    errors.append(
+                        f"{prefix}{strategy}@{depth}: {label} wall clock "
+                        f"{ratio:.2f}x over the ({'/'.join(base_mode)}) "
+                        f"baseline (budget {budget}x)"
+                    )
+    if args.max_sparse_ratio is not None and not sparse_pairs_checked:
+        errors.append(
+            "--max-sparse-ratio given but the record holds no "
+            "sparse/dense (per_layer, resolved) pair to gate"
+        )
     return errors
 
 
@@ -213,10 +369,12 @@ def main(argv: list[str] | None = None) -> int:
         "serving perf smoke ok:",
         [
             (
+                config.get("devices"),
                 config["strategy"],
                 config["layers"],
                 config["pricing"],
                 config.get("demand", "broadcast"),
+                config.get("operator", "dense"),
                 round(config["iters_per_s"], 1),
             )
             for config in configs
