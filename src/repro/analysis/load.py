@@ -14,7 +14,13 @@ def device_token_loads(
         raise ValueError(
             f"expected {placement.num_experts} expert loads, got {loads.shape}"
         )
-    shares = np.where(loads > 0, loads, 0.0) / placement.replica_counts
+    counts = placement.replica_counts
+    shares = np.divide(
+        np.where(loads > 0, loads, 0.0),
+        counts,
+        out=np.zeros_like(loads),
+        where=counts > 0,
+    )
     return shares @ placement.replica_matrix
 
 
@@ -30,7 +36,13 @@ def stacked_device_token_loads(
     expected = (placement.num_layers, placement.num_experts)
     if loads.shape != expected:
         raise ValueError(f"expected {expected} layer loads, got {loads.shape}")
-    shares = np.where(loads > 0, loads, 0.0) / placement.replica_counts
+    counts = placement.replica_counts
+    shares = np.divide(
+        np.where(loads > 0, loads, 0.0),
+        counts,
+        out=np.zeros_like(loads),
+        where=counts > 0,
+    )
     return np.matmul(shares[:, None, :], placement.replica_tensor)[:, 0, :]
 
 

@@ -81,6 +81,94 @@ class StackedBalancer:
             None
         )
         self._layer_range = np.arange(placement.num_layers)
+        #: Device liveness under fault injection.  While every device is
+        #: live (``_all_live``) each masked computation below keeps its
+        #: original unmasked form — the fault machinery is bitwise free.
+        self._live = np.ones(placement.num_devices, dtype=bool)
+        self._all_live = True
+
+    # -- faults ------------------------------------------------------------------
+
+    @property
+    def live_devices(self) -> np.ndarray:
+        """Read-only per-device liveness mask (all True fault-free)."""
+        view = self._live.view()
+        view.flags.writeable = False
+        return view
+
+    def mark_device_failed(self, device: int) -> None:
+        """Exclude a fail-stopped device from heat statistics and planning.
+
+        The placement drop itself happens via
+        :meth:`StackedPlacement.fail_device`; this records liveness so
+        imbalance means/maxes ignore the dead column and planners never
+        choose it as a destination.
+        """
+        if self._live[device]:
+            self._live[device] = False
+            self._all_live = False
+
+    def plan_repairs(self) -> list[tuple[int, Migration]]:
+        """Emergency re-replication of orphaned experts onto survivors.
+
+        Bypasses the Eq. 2 trigger and ``beta_iters`` cooldown entirely:
+        an orphaned expert serves *no* tokens, which is qualitatively
+        worse than any imbalance, so repairs commit the same iteration the
+        failure lands.  Each orphan goes to the coldest live device with a
+        free shadow slot (net of in-flight migrations); when no slot is
+        free anywhere, the coldest *droppable* shadow replica (one whose
+        expert keeps >= 2 replicas) is force-evicted to make room.  The
+        returned ``(layer, Migration)`` pairs feed :meth:`commit_many`;
+        ``Migration.src`` records the dead native for provenance — the
+        weights actually stream from the host side channel.
+        """
+        orphan_layers, orphan_experts = self.placement.orphaned()
+        if orphan_layers.size == 0:
+            return []
+        heats = self.heats(include_pending=False)
+        free = self._free_slots()
+        natives = self.placement.native_devices
+        repairs: list[tuple[int, Migration]] = []
+        for layer, expert in zip(orphan_layers.tolist(), orphan_experts.tolist()):
+            candidates = self._live & (free[layer] > 0)
+            if candidates.any():
+                dst = int(np.argmin(np.where(candidates, heats[layer], np.inf)))
+            else:
+                dst = self._force_evict(layer, heats[layer])
+                if dst < 0:
+                    continue
+            repairs.append(
+                (
+                    layer,
+                    Migration(
+                        expert=expert,
+                        src=int(natives[expert]),
+                        dst=dst,
+                        volume=self.expert_bytes,
+                    ),
+                )
+            )
+            free[layer, dst] -= 1
+            heats[layer, dst] += self.predicted_loads[layer, expert]
+        return repairs
+
+    def _force_evict(self, layer_index: int, layer_heats: np.ndarray) -> int:
+        """Drop the coldest droppable shadow on ``layer``; return its device.
+
+        Walks live devices coldest-first and evicts the first shadow
+        replica whose expert keeps another copy (so eviction never creates
+        a new orphan).  Returns -1 when nothing is droppable.
+        """
+        layer = self.placement.layer(layer_index)
+        counts = self.placement.replica_counts[layer_index]
+        for device in np.argsort(layer_heats, kind="stable").tolist():
+            if not self._live[device]:
+                continue
+            for expert in list(layer._shadow[device]):
+                if counts[expert] >= 2:
+                    self.placement.drop_replica(layer_index, expert, device)
+                    return device
+        return -1
 
     # -- observation ------------------------------------------------------------
 
@@ -167,8 +255,13 @@ class StackedBalancer:
         """
         if heats is None:
             heats = self.heats(include_pending=False)
-        mean = heats.mean(axis=1)
-        peak = heats.max(axis=1)
+        if self._all_live:
+            mean = heats.mean(axis=1)
+            peak = heats.max(axis=1)
+        else:
+            live = heats[:, self._live]
+            mean = live.mean(axis=1)
+            peak = live.max(axis=1)
         return np.divide(
             peak - mean, mean, out=np.zeros_like(mean), where=mean > 0
         )
@@ -195,7 +288,10 @@ class StackedBalancer:
         """
         if heats is None:
             heats = self.heats(include_pending=False)
-        mean_heat = heats.mean(axis=1)
+        if self._all_live:
+            mean_heat = heats.mean(axis=1)
+        else:
+            mean_heat = heats[:, self._live].mean(axis=1)
         threshold = self.config.drop_fraction * mean_heat
         layer_idx, expert_idx, device_idx = self.placement.shadow_entry_arrays()
         if layer_idx.size == 0:
@@ -216,6 +312,11 @@ class StackedBalancer:
         predicted = self.predicted_loads[layer_idx, expert_idx]
         below = (predicted / (counts - rank)) < threshold[layer_idx]
         below &= mean_heat[layer_idx] > 0
+        # Never evict an expert's last replica.  Fault-free this is a
+        # no-op (the native makes counts - rank >= 2 for every shadow
+        # entry), but after a native's fail-stop a repaired shadow can be
+        # the only copy — stale eviction must not re-orphan it.
+        below &= (counts - rank) > 1.0
         fails = np.cumsum(~below)
         fails_before_group = np.repeat(
             fails[start_positions] - (~below[start_positions]), group_sizes
@@ -236,6 +337,8 @@ class StackedBalancer:
         layers, _experts, dsts = self._pending_flat()
         if layers.size:
             np.subtract.at(free, (layers, dsts), 1)
+        if not self._all_live:
+            free[:, ~self._live] = 0
         return free
 
     def _pending_dst_mask(self, chosen_expert: np.ndarray) -> np.ndarray:
@@ -323,7 +426,15 @@ class StackedGreedyBalancer(StackedBalancer):
         natives = self.placement.native_devices
 
         for _ in range(self.config.max_migrations_per_trigger):
-            per_replica = self.predicted_loads / num_replicas
+            # Guarded: an orphaned expert (zero replicas, repair pending)
+            # contributes no per-replica load — identical to the plain
+            # divide everywhere counts are positive.
+            per_replica = np.divide(
+                self.predicted_loads,
+                num_replicas,
+                out=np.zeros_like(self.predicted_loads),
+                where=num_replicas > 0,
+            )
             hottest = np.argmax(per_replica, axis=1)
             share = per_replica[layer, hottest]
             active &= share > 0
@@ -349,10 +460,16 @@ class StackedGreedyBalancer(StackedBalancer):
             for index in chosen.tolist():
                 expert = int(hottest[index])
                 dst = int(coldest[index])
+                src = int(natives[expert])
+                if not self._all_live and not self._live[src]:
+                    # Dead native: source the copy from the expert's first
+                    # live replica instead (replica lists are native-first,
+                    # so this is exactly the native when it is alive).
+                    src = int(self.placement.layer(index).replicas(expert)[0])
                 plans[index].append(
                     Migration(
                         expert=expert,
-                        src=int(natives[expert]),
+                        src=src,
                         dst=dst,
                         volume=self.expert_bytes,
                     )
@@ -407,7 +524,12 @@ class StackedTopologyAwareBalancer(StackedBalancer):
 
             # The hottest device's hottest expert, tie-broken by the
             # experts_on enumeration order via the host-order stamps.
-            per_replica = self.predicted_loads / num_replicas
+            per_replica = np.divide(
+                self.predicted_loads,
+                num_replicas,
+                out=np.zeros_like(self.predicted_loads),
+                where=num_replicas > 0,
+            )
             hosted = tensor_by_device[layer, hottest_device] > 0
             active &= hosted.any(axis=1)
             if not active.any():

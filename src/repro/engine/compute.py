@@ -99,26 +99,48 @@ class ComputeModel:
         ]
 
     def _moe_device_arrays(
-        self, expert_loads: np.ndarray, placement
+        self,
+        expert_loads: np.ndarray,
+        placement,
+        device_scale: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """(compute, memory) per-device arrays via the replica matrix."""
+        """(compute, memory) per-device arrays via the replica matrix.
+
+        ``device_scale`` (per-device slowdown multipliers, straggler
+        injection) scales both components; an orphaned expert (zero
+        replicas after a fail-stop, before repair) contributes nothing —
+        its unavailability is charged by the repair path, not here.
+        """
         loads = np.asarray(expert_loads, dtype=float)
         if loads.shape != (placement.num_experts,):
             raise ValueError(
                 f"expected {placement.num_experts} expert loads, got {loads.shape}"
             )
         active = (loads > 0).astype(float)
-        shares = active * loads / placement.replica_counts
+        counts = placement.replica_counts
+        shares = np.divide(
+            active * loads, counts, out=np.zeros_like(loads), where=counts > 0
+        )
         matrix = placement.replica_matrix
         device_tokens = shares @ matrix
         device_active = active @ matrix
         compute = device_tokens * self.model.expert_flops_per_token / self.device.int8_ops
         memory = device_active * self.model.expert_bytes / self.device.hbm_bandwidth
+        if device_scale is not None:
+            compute = compute * device_scale
+            memory = memory * device_scale
         return compute, memory
 
-    def moe_peak_time(self, expert_loads: np.ndarray, placement) -> RooflineTimes:
+    def moe_peak_time(
+        self,
+        expert_loads: np.ndarray,
+        placement,
+        device_scale: np.ndarray | None = None,
+    ) -> RooflineTimes:
         """The slowest device's MoE roofline — the layer's critical path."""
-        compute, memory = self._moe_device_arrays(expert_loads, placement)
+        compute, memory = self._moe_device_arrays(
+            expert_loads, placement, device_scale=device_scale
+        )
         slowest = int(np.argmax(compute + memory))
         return RooflineTimes(
             compute=float(compute[slowest]), memory=float(memory[slowest])
@@ -129,6 +151,7 @@ class ComputeModel:
         layer_loads: np.ndarray,
         matrices: np.ndarray,
         counts: np.ndarray,
+        device_scale: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-layer peak-device (compute, memory) arrays.
 
@@ -142,14 +165,21 @@ class ComputeModel:
                 stacked-placement view or an ``np.stack`` of per-layer
                 matrices — einsum is bitwise identical on either).
             counts: ``(layers, experts)`` replica counts.
+            device_scale: optional ``(devices,)`` slowdown multipliers
+                (straggler injection) applied before the peak argmax.
         """
         loads = np.asarray(layer_loads, dtype=float)
         active = (loads > 0).astype(float)
-        shares = active * loads / counts
+        shares = np.divide(
+            active * loads, counts, out=np.zeros_like(loads), where=counts > 0
+        )
         device_tokens = np.einsum("le,led->ld", shares, matrices)
         device_active = np.einsum("le,led->ld", active, matrices)
         compute = device_tokens * self.model.expert_flops_per_token / self.device.int8_ops
         memory = device_active * self.model.expert_bytes / self.device.hbm_bandwidth
+        if device_scale is not None:
+            compute = compute * device_scale
+            memory = memory * device_scale
         peak = np.argmax(compute + memory, axis=1)
         rows = np.arange(peak.size)
         return compute[rows, peak], memory[rows, peak]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.compute import ComputeModel, RooflineTimes
+from repro.faults.health import health_version
 from repro.hardware.device import DeviceSpec
 from repro.mapping.base import Mapping
 from repro.mapping.placement import ExpertPlacement
@@ -120,12 +121,14 @@ class IterationSimulator:
         self.mapping = mapping
         self.config = config or EngineConfig()
         self.compute = ComputeModel(device, model)
-        #: volume -> CollectiveResult.  The attention all-reduce depends
-        #: only on (mapping, volume) — never on gating counts or expert
-        #: placement — and the mapping is fixed per simulator, so serving
-        #: loops pay the ring simulation once instead of every iteration.
+        #: (volume, health version) -> CollectiveResult.  The attention
+        #: all-reduce depends only on (mapping, volume, fabric health) —
+        #: never on gating counts or expert placement — and the mapping is
+        #: fixed per simulator, so serving loops pay the ring simulation
+        #: once instead of every iteration; link faults bump the health
+        #: version and force a re-price over the degraded fabric.
         #: Treat cached results as frozen; don't mutate their link_bytes.
-        self._allreduce_cache: dict[float, CollectiveResult] = {}
+        self._allreduce_cache: dict[tuple[float, int], CollectiveResult] = {}
 
     def allreduce_volume(self) -> float:
         """Bytes all-reduced per TP group: the group's token activations."""
@@ -133,10 +136,11 @@ class IterationSimulator:
 
     def simulate_allreduce(self, volume_per_group: float) -> CollectiveResult:
         """The mapping's all-reduce for this volume, cached per simulator."""
-        result = self._allreduce_cache.get(volume_per_group)
+        key = (volume_per_group, health_version(self.mapping.topology))
+        result = self._allreduce_cache.get(key)
         if result is None:
             result = self.mapping.simulate_allreduce(volume_per_group)
-            self._allreduce_cache[volume_per_group] = result
+            self._allreduce_cache[key] = result
         return result
 
     def simulate_layer(
@@ -144,6 +148,7 @@ class IterationSimulator:
         counts: np.ndarray,
         placement: ExpertPlacement,
         migration_exposed: float = 0.0,
+        device_scale: np.ndarray | None = None,
     ) -> LayerSimulation:
         """Simulate one sparse layer.
 
@@ -152,6 +157,8 @@ class IterationSimulator:
             placement: current expert placement (with replicas).
             migration_exposed: invasive migration latency charged to this
                 layer's critical path.
+            device_scale: optional per-device compute slowdown multipliers
+                (straggler injection) applied to the MoE roofline.
         """
         counts = np.asarray(counts, dtype=float)
         if counts.shape != (self.mapping.dp, self.model.num_experts):
@@ -178,7 +185,9 @@ class IterationSimulator:
         )
 
         expert_loads = counts.sum(axis=0)
-        moe = self.compute.moe_peak_time(expert_loads, placement)
+        moe = self.compute.moe_peak_time(
+            expert_loads, placement, device_scale=device_scale
+        )
 
         breakdown = IterationBreakdown(
             attention=attention,

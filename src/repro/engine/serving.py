@@ -42,7 +42,8 @@ the workload RNG stream differently (equally distributed layer totals,
 different draw counts).
 """
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -50,10 +51,18 @@ from repro.analysis.load import device_token_loads, stacked_device_token_loads
 from repro.balancer.base import Balancer, BalancerConfig, Migration
 from repro.balancer.migration import PendingMigration, SegmentKind, split_migration
 from repro.balancer.stacked import STACKED_BALANCERS, StackedBalancer
+from repro.engine.compute import RooflineTimes
 from repro.engine.iteration import (
     EngineConfig,
     IterationBreakdown,
     IterationSimulator,
+)
+from repro.faults.health import topology_health
+from repro.faults.schedule import (
+    DeviceFailure,
+    FaultSchedule,
+    LinkDegradation,
+    Straggler,
 )
 from repro.hardware.device import DeviceSpec
 from repro.mapping.base import Mapping
@@ -133,6 +142,20 @@ class ServingConfig:
             raise ValueError("num_iterations must be positive")
         if self.alpha < 0 or self.beta_iters < 0 or self.warmup_iters < 0:
             raise ValueError("alpha/beta_iters/warmup_iters must be >= 0")
+        if self.shadow_slots < 0:
+            raise ValueError("shadow_slots must be >= 0")
+        if self.per_layer_demand and not self.per_layer_alltoall:
+            # Resolved demand only reaches the pricer through the
+            # per-layer plan, so with broadcast pricing the flag is
+            # silently inert — almost always a configuration mistake
+            # (per_layer_demand defaults to True).
+            warnings.warn(
+                "ServingConfig(per_layer_demand=True) is inert with "
+                "per_layer_alltoall=False — pass per_layer_demand=False "
+                "explicitly alongside it",
+                UserWarning,
+                stacklevel=2,
+            )
 
 
 @dataclass
@@ -163,6 +186,17 @@ class IterationRecord:
     migrations_started: int
     migrations_completed: int
     triggered: bool
+    #: Faults in effect this iteration: dead devices + active straggler
+    #: windows + degraded links.  Always 0 without a fault schedule.
+    faults_active: int = 0
+    #: Experts still lacking any live replica *after* this iteration's
+    #: repair pass (nonzero only when repair ran out of shadow capacity).
+    experts_orphaned: int = 0
+    #: Emergency re-replications committed this iteration.
+    repair_migrations: int = 0
+    #: Exposed latency of restreaming repaired experts from the host side
+    #: channel (charged on top of migration_exposed).
+    repair_exposed: float = 0.0
 
     @property
     def load_ratio(self) -> float:
@@ -238,6 +272,65 @@ class ServingTrace:
     def num_migrations(self) -> int:
         return sum(record.migrations_started for record in self.records)
 
+    # -- fault / recovery metrics -------------------------------------------------
+
+    def first_fault_index(self) -> int | None:
+        """Index of the first faulted iteration, or ``None`` (clean run)."""
+        for index, record in enumerate(self.records):
+            if record.faults_active > 0:
+                return index
+        return None
+
+    def num_repairs(self) -> int:
+        return sum(record.repair_migrations for record in self.records)
+
+    def total_repair_exposed(self) -> float:
+        return sum(record.repair_exposed for record in self.records)
+
+    def time_to_recovery(
+        self, epsilon: float = 0.05, baseline_window: int = 10
+    ) -> float:
+        """Iterations from the first fault until the system is healthy again.
+
+        Healthy means no orphaned experts remain *and* the load ratio is
+        back within ``1 + epsilon`` times the pre-fault baseline (the mean
+        ratio over the ``baseline_window`` iterations before the fault).
+        Returns 0.0 when the fault iteration itself already qualifies,
+        ``inf`` when the trace never recovers, and NaN for a clean run.
+        """
+        first = self.first_fault_index()
+        if first is None:
+            return float("nan")
+        pre = self.records[max(0, first - baseline_window) : first]
+        baseline = (
+            float(np.mean([r.load_ratio for r in pre])) if pre else 1.0
+        )
+        target = baseline * (1.0 + epsilon)
+        for index in range(first, len(self.records)):
+            record = self.records[index]
+            if record.experts_orphaned == 0 and record.load_ratio <= target:
+                return float(index - first)
+        return float("inf")
+
+    def degraded_throughput_fraction(self, baseline_window: int = 10) -> float:
+        """Throughput lost to the fault: ``1 - pre_latency / post_latency``.
+
+        Compares mean iteration latency over the pre-fault baseline window
+        against the whole post-fault tail (clamped at 0 — a fault cannot
+        *gain* throughput).  NaN for a clean run or a fault at iteration 0
+        (no baseline to compare against).
+        """
+        first = self.first_fault_index()
+        if first is None or first == 0:
+            return float("nan")
+        pre = self.records[max(0, first - baseline_window) : first]
+        post = self.records[first:]
+        pre_latency = float(np.mean([r.latency for r in pre]))
+        post_latency = float(np.mean([r.latency for r in post]))
+        if post_latency <= 0:
+            return 0.0
+        return max(0.0, 1.0 - pre_latency / post_latency)
+
 
 class ServingSimulator:
     """The serving loop: workload -> balancer -> iteration latency."""
@@ -253,6 +346,7 @@ class ServingSimulator:
         serving_config: ServingConfig | None = None,
         balancer_config: BalancerConfig | None = None,
         stacked: bool | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ) -> None:
         self.device = device
         self.model = model
@@ -314,6 +408,57 @@ class ServingSimulator:
         #: (layer, migration, in-flight state) for non-invasive draining.
         self._in_flight: list[tuple[int, Migration, PendingMigration]] = []
         self._last_migration_iter = -(10**9)
+
+        #: Fault-injection state.  An empty schedule is normalized to None
+        #: so the zero-cost-when-disabled discipline (every fault branch
+        #: guarded on ``self._faults is not None``) also covers it.
+        if fault_schedule is not None and not fault_schedule.events:
+            fault_schedule = None
+        self._faults = fault_schedule
+        self._dead: set[int] = set()
+        self._active_stragglers: list[Straggler] = []
+        self._active_link_faults: list[LinkDegradation] = []
+        self._device_scale: np.ndarray | None = None
+        self._attention_scale = 1.0
+        if self._faults is not None:
+            if not self.stacked:
+                raise ValueError(
+                    "fault injection requires the stacked engine "
+                    "(the per-layer oracle has no repair path)"
+                )
+            self._validate_schedule(num_devices)
+
+    def _validate_schedule(self, num_devices: int) -> None:
+        topology = self.mapping.topology
+        dead: set[int] = set()
+        for event in self._faults.events:
+            if isinstance(event, LinkDegradation):
+                if not (
+                    0 <= event.src < num_devices and 0 <= event.dst < num_devices
+                ):
+                    raise ValueError(
+                        f"link fault endpoint out of range: {event.src}->{event.dst}"
+                    )
+                if (event.src, event.dst) not in topology.links:
+                    raise ValueError(
+                        f"no link {event.src}->{event.dst} in this topology"
+                    )
+            else:
+                if event.device >= num_devices:
+                    raise ValueError(
+                        f"fault device {event.device} out of range "
+                        f"(0..{num_devices - 1})"
+                    )
+                if isinstance(event, DeviceFailure):
+                    dead.add(event.device)
+        if len(dead) >= num_devices:
+            raise ValueError("fault schedule fails every device")
+        for group in self.mapping.tp_groups:
+            if all(device in dead for device in group):
+                raise ValueError(
+                    "fault schedule fails an entire TP group — attention "
+                    "work there has no survivors to redistribute onto"
+                )
 
     @property
     def invasive(self) -> bool:
@@ -400,6 +545,15 @@ class ServingSimulator:
             for layer, balancer in enumerate(self.balancers):
                 balancer.observe(layer_loads[layer])
 
+        repair_exposed = 0.0
+        repairs = 0
+        orphaned = 0
+        faults_active = 0
+        if self._faults is not None:
+            repair_exposed, repairs, orphaned, faults_active = self._apply_faults(
+                iteration
+            )
+
         exposed, started = self._maybe_rebalance(iteration)
 
         # Full network + compute simulation on layer 0; one batched MoE
@@ -408,8 +562,23 @@ class ServingSimulator:
         # make layers diverge (and per_layer_alltoall is on), each
         # diverged content group is priced against its own destination
         # shares through the layer-batched dispatch plan.
-        sim = self.simulator.simulate_layer(counts0, self.layer_placement(0))
+        sim = self.simulator.simulate_layer(
+            counts0, self.layer_placement(0), device_scale=self._device_scale
+        )
         breakdown = sim.breakdown
+        if self._attention_scale != 1.0:
+            # TP groups that lost members redistribute attention work over
+            # the survivors; the slowest straggler paces the rest.  The
+            # all-reduce is unscaled — the ring still runs over every
+            # device position (routers survive fail-stop).
+            attention = breakdown.attention
+            breakdown = replace(
+                breakdown,
+                attention=RooflineTimes(
+                    compute=attention.compute * self._attention_scale,
+                    memory=attention.memory * self._attention_scale,
+                ),
+            )
 
         a2a_layers = None
         a2a_broadcast_layers = None
@@ -449,6 +618,7 @@ class ServingSimulator:
                     layer_loads[1:],
                     placement.replica_tensor[1:],
                     placement.replica_counts[1:],
+                    device_scale=self._device_scale,
                 )
                 moe_totals = moe_compute + moe_memory
             else:
@@ -474,7 +644,9 @@ class ServingSimulator:
         # price), normalized by the simulated depth.  With a uniform
         # placement stack this reduces exactly to the layer-0 broadcast.
         latency = (
-            self.model.num_sparse_layers * float(np.mean(layer_totals)) + exposed
+            self.model.num_sparse_layers * float(np.mean(layer_totals))
+            + exposed
+            + repair_exposed
         )
 
         # a2a_layers[0] is breakdown.alltoall verbatim (layer 0 anchors its
@@ -512,7 +684,139 @@ class ServingSimulator:
             migrations_started=started,
             migrations_completed=completed,
             triggered=started > 0,
+            faults_active=faults_active,
+            experts_orphaned=orphaned,
+            repair_migrations=repairs,
+            repair_exposed=repair_exposed,
         )
+
+    # -- fault injection ----------------------------------------------------------
+
+    def _apply_faults(self, iteration: int) -> tuple[float, int, int, int]:
+        """Expire windows, land this iteration's events, repair orphans.
+
+        Returns ``(repair_exposed, repair_migrations, experts_orphaned,
+        faults_active)`` for the iteration record.  Consumes no RNG — the
+        schedule is fully concrete — so the trace prefix before the first
+        event is bitwise identical to a run without the schedule.
+        """
+        topology = self.mapping.topology
+
+        if self._active_stragglers:
+            expired = [
+                straggler
+                for straggler in self._active_stragglers
+                if iteration >= straggler.iteration + straggler.duration
+            ]
+            if expired:
+                health = topology_health(topology, create=True)
+                for straggler in expired:
+                    health.clear_compute_factor(straggler.device)
+                self._active_stragglers = [
+                    straggler
+                    for straggler in self._active_stragglers
+                    if iteration < straggler.iteration + straggler.duration
+                ]
+                self._recompute_scales()
+        if self._active_link_faults:
+            expired_links = [
+                fault
+                for fault in self._active_link_faults
+                if fault.duration is not None
+                and iteration >= fault.iteration + fault.duration
+            ]
+            if expired_links:
+                health = topology_health(topology, create=True)
+                for fault in expired_links:
+                    health.restore_link(fault.src, fault.dst)
+                self._active_link_faults = [
+                    fault
+                    for fault in self._active_link_faults
+                    if fault not in expired_links
+                ]
+
+        scale_dirty = False
+        for event in self._faults.events_at(iteration):
+            if isinstance(event, DeviceFailure):
+                self._fail_device(event.device)
+                scale_dirty = True
+            elif isinstance(event, LinkDegradation):
+                topology_health(topology, create=True).degrade_link(
+                    event.src, event.dst, event.factor
+                )
+                self._active_link_faults.append(event)
+            elif event.device not in self._dead:
+                topology_health(topology, create=True).set_compute_factor(
+                    event.device, event.factor
+                )
+                self._active_stragglers.append(event)
+                scale_dirty = True
+        if scale_dirty:
+            self._recompute_scales()
+
+        # Emergency repair: orphaned experts re-replicate onto survivors
+        # immediately, bypassing the Eq. 2 trigger and beta cooldown.  The
+        # weights restream from the host side channel; concurrent restores
+        # to different devices overlap, so the exposed stall is set by the
+        # busiest destination.
+        repair_exposed = 0.0
+        repairs = self.engine.plan_repairs()
+        if repairs:
+            self._commit_many(repairs)
+            per_destination: dict[int, int] = {}
+            for _layer, migration in repairs:
+                per_destination[migration.dst] = (
+                    per_destination.get(migration.dst, 0) + 1
+                )
+            repair_exposed = (
+                self.model.expert_bytes
+                * max(per_destination.values())
+                / self._faults.restore_bandwidth
+            )
+
+        orphan_layers, _orphan_experts = self.engine.placement.orphaned()
+        faults_active = (
+            len(self._dead)
+            + len(self._active_stragglers)
+            + len(self._active_link_faults)
+        )
+        return repair_exposed, len(repairs), int(orphan_layers.size), faults_active
+
+    def _fail_device(self, device: int) -> None:
+        if device in self._dead:
+            return
+        self._dead.add(device)
+        # In-flight migrations sourcing from or landing on the dead device
+        # are lost with it.
+        if self._in_flight:
+            surviving: list[tuple[int, Migration, PendingMigration]] = []
+            for layer, migration, pending in self._in_flight:
+                if migration.src == device or migration.dst == device:
+                    self.engine.abandon(layer, migration)
+                else:
+                    surviving.append((layer, migration, pending))
+            self._in_flight = surviving
+        topology_health(self.mapping.topology, create=True).fail_device(device)
+        self.engine.mark_device_failed(device)
+        self.engine.placement.fail_device(device)
+
+    def _recompute_scales(self) -> None:
+        num_devices = self.mapping.topology.num_devices
+        scale = np.ones(num_devices)
+        worst_straggler = 1.0
+        for straggler in self._active_stragglers:
+            if straggler.device in self._dead:
+                continue
+            scale[straggler.device] = max(scale[straggler.device], straggler.factor)
+            worst_straggler = max(worst_straggler, straggler.factor)
+        self._device_scale = scale if (scale != 1.0).any() else None
+        attention = 1.0
+        if self._dead:
+            for group in self.mapping.tp_groups:
+                lost = sum(1 for member in group if member in self._dead)
+                if lost:
+                    attention = max(attention, len(group) / (len(group) - lost))
+        self._attention_scale = attention * worst_straggler
 
     # -- balancing ----------------------------------------------------------------
 
@@ -635,6 +939,10 @@ class ServingSimulator:
             device_loads = stacked_device_token_loads(
                 layer_loads, self.engine.placement
             )
+            if self._dead:
+                # Dead devices carry no load by construction; keeping
+                # their zero columns would flatter the mean.
+                device_loads = device_loads[:, self.engine.live_devices]
             return (
                 float(np.mean(device_loads.max(axis=1))),
                 float(np.mean(device_loads.mean(axis=1))),

@@ -15,6 +15,7 @@ from repro.experiments.figures import (  # noqa: F401
     fig15,
     fig16,
     fig17,
+    fault_tolerance,
     serving_speed,
     smoke,
     table1,

@@ -1,0 +1,306 @@
+"""Fault-tolerance recovery leaderboard across balancing strategies.
+
+Injects the three fault classes of :mod:`repro.faults` into full serving
+runs and compares how each balancing strategy absorbs them:
+
+* ``single_tile`` — one tile of the 64-device 8x8 wafer fail-stops mid
+  run (the paper's unit of failure: one die on the wafer).
+* ``rack_loss`` — a correlated loss of one 16-device mesh row on the
+  1024-device 4x(16x16) HER system (a whole rack / wafer column dying at
+  once), priced through the sparse incremental operator.
+* ``stragglers`` — rolling straggler windows walk across the 64-device
+  wafer (thermal throttling), no capacity lost.
+
+Each scenario runs under all four balancer strategies.  Recovery metrics
+come from the trace: ``recovery_iters``
+(:meth:`~repro.engine.serving.ServingTrace.time_to_recovery` — iterations
+until no orphaned experts remain and the load ratio is back within 10% of
+the pre-fault baseline), the repair count, orphans left at the end of the
+run, and the degraded-throughput fraction.  The rendered table is the
+leaderboard; the machine-readable record lands in
+``benchmarks/results/BENCH_faults.json`` (or ``BENCH_faults.smoke.json``
+for reduced runs) so ``tools/ci/check_serving_smoke.py`` can gate
+recovery: fail-stop scenarios must fully repair, and the invasive-greedy
+and non-invasive strategies must recover within the budgeted iterations.
+
+``REPRO_FAULT_BENCH_ITERS`` shrinks the runs and
+``REPRO_FAULT_BENCH_SCENARIOS`` restricts the scenario axis (CI runs
+``single_tile`` only — the 1024-device rack loss is a full-record-only
+point).
+"""
+
+import math
+import os
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.experiments.common import emit_json
+from repro.experiments.figures.shared import STRATEGIES, strategy_class, strategy_label
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.faults import FaultSchedule
+from repro.models import QWEN3_235B
+from repro.systems import build_multi_wsc, build_wsc
+from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
+
+FULL_ITERATIONS = 80
+ITERATIONS = int(os.environ.get("REPRO_FAULT_BENCH_ITERS", str(FULL_ITERATIONS)))
+#: The 1024-device rack loss runs at half the base iteration count — one
+#: iteration there simulates 16x the devices.
+SCALE_ITER_DIVISOR = 2
+#: Fault landing point as a fraction of the run (leaves a pre-fault
+#: baseline window and a post-fault recovery tail at any length).
+FAULT_POINT = 3 / 8
+#: Simulated depth: faults stress placement/repair, not depth scaling.
+NUM_LAYERS = 4
+
+BENCH_JSON = "BENCH_faults.json"
+BENCH_SMOKE_JSON = "BENCH_faults.smoke.json"
+
+#: scenario -> system + fault parameters.  Systems mirror the
+#: serving_speed benchmark (the 8x8 trajectory wafer and the 4x(16x16)
+#: HER scale system) so wall clocks and load ratios are comparable.
+SCENARIOS = {
+    "single_tile": {
+        "devices": 64,
+        "wafers": 1,
+        "side": 8,
+        "tp": 4,
+        "mapping": "er",
+        "num_experts": 64,
+        "kind": "failstop",
+        #: An interior tile (row 3, column 3): worst-case attention
+        #: redistribution inside its TP quad, traffic through its routers.
+        "devices_lost": [27],
+        "shadow_slots": 2,
+    },
+    "rack_loss": {
+        "devices": 1024,
+        "wafers": 4,
+        "side": 16,
+        "tp": 16,
+        "mapping": "her",
+        "num_experts": 256,
+        "kind": "failstop",
+        #: Wafer 0's top mesh row — 16 dies lost at once.  tp=16 groups
+        #: tile as 4x4 blocks, so every group on the row loses a quarter
+        #: of its members and attention survives.
+        "devices_lost": list(range(16)),
+        "shadow_slots": 2,
+    },
+    "stragglers": {
+        "devices": 64,
+        "wafers": 1,
+        "side": 8,
+        "tp": 4,
+        "mapping": "er",
+        "num_experts": 64,
+        "kind": "stragglers",
+        "straggler_count": 5,
+        "straggler_period": 6,
+        "straggler_duration": 4,
+        "straggler_factor": 2.5,
+        "straggler_seed": 7,
+        "shadow_slots": 2,
+    },
+}
+
+DEFAULT_SCENARIOS = list(SCENARIOS)
+SCENARIO_AXIS = [
+    name
+    for name in os.environ.get(
+        "REPRO_FAULT_BENCH_SCENARIOS", ",".join(DEFAULT_SCENARIOS)
+    ).split(",")
+    if name
+]
+
+
+def _case(scenario: str, strategy: str, iterations: int) -> dict:
+    spec = SCENARIOS[scenario]
+    if spec["devices"] > 64:
+        iterations = max(1, iterations // SCALE_ITER_DIVISOR)
+    return {
+        "scenario": scenario,
+        "strategy": strategy,
+        "iterations": iterations,
+        "fault_iteration": int(iterations * FAULT_POINT),
+        **spec,
+    }
+
+
+def _cases(iterations: int, scenarios: list[str]) -> list[dict]:
+    return [
+        _case(scenario, strategy, iterations)
+        for scenario in scenarios
+        for strategy in STRATEGIES
+    ]
+
+
+CASES = _cases(ITERATIONS, SCENARIO_AXIS)
+#: The canonical full-length grid — only a run matching it exactly
+#: updates the tracked trajectory record.
+FULL_CASES = _cases(FULL_ITERATIONS, DEFAULT_SCENARIOS)
+
+
+def _schedule(case: dict) -> FaultSchedule:
+    fault_at = case["fault_iteration"]
+    if case["kind"] == "failstop":
+        return FaultSchedule.correlated_failures(fault_at, case["devices_lost"])
+    return FaultSchedule.rolling_stragglers(
+        start=fault_at,
+        count=case["straggler_count"],
+        period=case["straggler_period"],
+        duration=case["straggler_duration"],
+        factor=case["straggler_factor"],
+        num_devices=case["devices"],
+        seed=case["straggler_seed"],
+    )
+
+
+def run_point(params: dict) -> dict:
+    case = params["case"]
+    model = replace(
+        QWEN3_235B,
+        name=f"qwen3-{case['num_experts']}e",
+        num_experts=case["num_experts"],
+    )
+    if case["wafers"] > 1:
+        system = build_multi_wsc(
+            model, case["wafers"], case["side"], tp=case["tp"],
+            mapping=case["mapping"],
+        )
+    else:
+        system = build_wsc(
+            model, side=case["side"], tp=case["tp"], mapping=case["mapping"]
+        )
+    workload = GatingSimulator(
+        model,
+        num_groups=system.mapping.dp,
+        tokens_per_group=128,
+        mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=60),
+        num_layers=NUM_LAYERS,
+        seed=41,
+    )
+    simulator = ServingSimulator(
+        system.device,
+        model,
+        system.mapping,
+        workload,
+        strategy_class(case["strategy"]),
+        engine_config=EngineConfig(tokens_per_group=128),
+        serving_config=ServingConfig(
+            num_iterations=case["iterations"],
+            shadow_slots=case["shadow_slots"],
+        ),
+        fault_schedule=_schedule(case),
+    )
+    trace = simulator.run()
+    recovery = trace.time_to_recovery(epsilon=0.1)
+    degraded = trace.degraded_throughput_fraction()
+    return {
+        "recovery_iters": recovery if math.isfinite(recovery) else None,
+        "recovered": bool(math.isfinite(recovery)),
+        "repairs": trace.num_repairs(),
+        "repair_exposed_s": trace.total_repair_exposed(),
+        "orphaned_final": trace.records[-1].experts_orphaned,
+        "degraded_fraction": degraded if math.isfinite(degraded) else None,
+        "mean_latency_s": trace.mean_latency(),
+        "load_ratio": trace.mean_load_ratio(),
+        "migrations": trace.num_migrations(),
+    }
+
+
+def _case_key(case: dict) -> tuple:
+    return tuple(sorted((k, tuple(v) if isinstance(v, list) else v) for k, v in case.items()))
+
+
+def render(results) -> str:
+    full_run = {_case_key(result.params["case"]) for result in results} == {
+        _case_key(case) for case in FULL_CASES
+    }
+    emit_json(
+        BENCH_JSON if full_run else BENCH_SMOKE_JSON,
+        {
+            "benchmark": "fault_tolerance",
+            "configs": [
+                {
+                    "scenario": result.params["case"]["scenario"],
+                    "kind": result.params["case"]["kind"],
+                    "devices": result.params["case"]["devices"],
+                    "mapping": result.params["case"]["mapping"],
+                    "strategy": result.params["case"]["strategy"],
+                    "iterations": result.params["case"]["iterations"],
+                    "fault_iteration": result.params["case"]["fault_iteration"],
+                    **result.metrics,
+                }
+                for result in results
+            ],
+        },
+    )
+    rows = []
+    # Leaderboard order: within each scenario, fastest recovery first
+    # (unrecovered runs sink to the bottom).
+    ordered = sorted(
+        results,
+        key=lambda result: (
+            result.params["case"]["scenario"],
+            not result.metrics["recovered"],
+            result.metrics["recovery_iters"]
+            if result.metrics["recovery_iters"] is not None
+            else float("inf"),
+            result.metrics["mean_latency_s"],
+        ),
+    )
+    for result in ordered:
+        case = result.params["case"]
+        m = result.metrics
+        recovery = (
+            f"{m['recovery_iters']:.0f} it" if m["recovered"] else "never"
+        )
+        degraded = (
+            f"{m['degraded_fraction'] * 100:.1f}%"
+            if m["degraded_fraction"] is not None
+            else "n/a"
+        )
+        rows.append(
+            [
+                case["scenario"],
+                case["devices"],
+                strategy_label(case["strategy"]),
+                recovery,
+                m["repairs"],
+                m["orphaned_final"],
+                degraded,
+                f"{m['load_ratio']:.2f}",
+                m["migrations"],
+            ]
+        )
+    return format_table(
+        [
+            "Scenario",
+            "Devices",
+            "Balancer",
+            "Recovery",
+            "Repairs",
+            "Orphans left",
+            "Degraded",
+            "Max/Avg",
+            "Migrations",
+        ],
+        rows,
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fault_tolerance",
+        figure="fault_tolerance",
+        description="Fault-injection recovery leaderboard across balancers",
+        grid={"case": CASES},
+        point=run_point,
+        render=render,
+        cacheable=False,
+    )
+)

@@ -47,6 +47,7 @@ class ExpertPlacement:
         self._shadow_counts = np.zeros(num_devices, dtype=np.int64)
         self._dest_share = np.zeros((num_experts, num_devices))
         self._shadow_mask = np.zeros((num_experts, num_devices), dtype=bool)
+        self._dead_devices: set[int] = set()
         self._version = 0
         self._content_key: tuple[int, bytes] | None = None
         for expert in range(num_experts):
@@ -95,7 +96,20 @@ class ExpertPlacement:
 
     def shadow_free(self, device: int) -> int:
         self._check_device(device)
+        if device in self._dead_devices:
+            return 0
         return self.shadow_slots - len(self._shadow[device])
+
+    @property
+    def dead_devices(self) -> frozenset[int]:
+        """Devices removed by :meth:`fail_device` (empty when healthy)."""
+        return frozenset(self._dead_devices)
+
+    def orphaned_experts(self) -> list[int]:
+        """Experts with zero live replicas (only possible after a failure)."""
+        if not self._dead_devices:
+            return []
+        return np.nonzero(self._counts == 0)[0].tolist()
 
     def hosts(self, device: int, expert: int) -> bool:
         return device in self._replicas[expert]
@@ -291,26 +305,72 @@ class ExpertPlacement:
         self._dest_share[rows] = self._matrix[rows] / self._counts[rows, None]
         self._version += experts.size
 
+    def fail_device(self, device: int) -> list[int]:
+        """Fail-stop: drop every replica — native and shadow — on ``device``.
+
+        The device is marked dead (``shadow_free`` reports 0, so planners
+        never target it again) and the experts left with *zero* replicas
+        are returned: those are orphaned until a repair re-replicates them
+        onto a survivor.  Idempotent — failing a dead device is a no-op.
+        """
+        self._check_device(device)
+        if device in self._dead_devices:
+            return []
+        self._dead_devices.add(device)
+        lost = self._native[device] + self._shadow[device]
+        if not lost:
+            return []
+        for expert in lost:
+            self._replicas[expert].remove(device)
+        self._native[device].clear()
+        self._shadow[device].clear()
+        self._matrix[:, device] = 0.0
+        rows = np.array(sorted(lost), dtype=np.int64)
+        self._counts[rows] -= 1
+        self._shadow_counts[device] = 0
+        self._shadow_mask[:, device] = False
+        counts = self._counts[rows, None]
+        share_rows = np.zeros_like(self._matrix[rows])
+        np.divide(self._matrix[rows], counts, out=share_rows, where=counts > 0)
+        self._dest_share[rows] = share_rows
+        self._version += len(lost)
+        return [expert for expert in lost if self._counts[expert] == 0]
+
     def reset_shadows(self) -> None:
         """Drop every shadow replica, returning to the native layout.
 
         Rebuilds the dense state wholesale (one masked assignment per
         tensor) instead of paying a per-drop dest-share row update; the
         version still advances once per dropped replica so derived caches
-        observe the same counter as the incremental path.
+        observe the same counter as the incremental path.  After device
+        failures the "native layout" excludes dead natives — an expert
+        whose native died and whose only replicas were shadows comes out
+        orphaned (a reset explicitly discards repairs).
         """
         dropped = int(self._shadow_mask.sum())
         if dropped == 0:
             return
         self._matrix[self._shadow_mask] = 0.0
-        self._dest_share[:] = self._matrix
-        self._counts[:] = 1
+        if self._dead_devices:
+            self._counts[:] = self._matrix.sum(axis=1)
+            counts = self._counts[:, None]
+            self._dest_share[:] = 0.0
+            np.divide(
+                self._matrix, counts, out=self._dest_share, where=counts > 0
+            )
+            dead = self._dead_devices
+            for expert in range(self.num_experts):
+                native = expert * self.num_devices // self.num_experts
+                self._replicas[expert] = [] if native in dead else [native]
+        else:
+            self._dest_share[:] = self._matrix
+            self._counts[:] = 1
+            for expert in range(self.num_experts):
+                del self._replicas[expert][1:]
         self._shadow_counts[:] = 0
         self._shadow_mask[:] = False
         for device in range(self.num_devices):
             self._shadow[device].clear()
-        for expert in range(self.num_experts):
-            del self._replicas[expert][1:]
         self._version += dropped
 
     # -- internals ----------------------------------------------------------------
@@ -398,6 +458,7 @@ class StackedPlacement:
         self._shadow_entries_cache: tuple[
             np.ndarray, np.ndarray, np.ndarray
         ] | None = None
+        self._dead_devices: set[int] = set()
 
     # -- queries ----------------------------------------------------------------
 
@@ -464,6 +525,18 @@ class StackedPlacement:
         view = self._versions.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def dead_devices(self) -> frozenset[int]:
+        """Devices removed by :meth:`fail_device` (empty when healthy)."""
+        return frozenset(self._dead_devices)
+
+    def orphaned(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(layer, expert)`` index arrays of experts with zero replicas."""
+        if not self._dead_devices:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.nonzero(self._counts == 0)
 
     def shadow_entry_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """All shadow replicas as ``(layers, experts, devices)`` index
@@ -603,13 +676,57 @@ class StackedPlacement:
             for expert, device in zip(experts.tolist(), devices.tolist()):
                 self._entry_remove(layer, expert, device)
 
+    def fail_device(self, device: int) -> tuple[np.ndarray, np.ndarray]:
+        """Fail-stop ``device`` on every layer.
+
+        Batched :meth:`ExpertPlacement.fail_device`: the dense mirrors
+        update column-wise, the swap-removable shadow-entry table drops
+        the device's entries, and the ``(layer, expert)`` index arrays of
+        the experts orphaned by this failure are returned for the repair
+        path.  Idempotent.
+        """
+        if device in self._dead_devices:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        self._dead_devices.add(device)
+        orphan_layers: list[int] = []
+        orphan_experts: list[int] = []
+        for index, layer in enumerate(self._layers):
+            shadows = list(layer._shadow[device])
+            orphans = layer.fail_device(device)
+            for expert in shadows:
+                self._entry_remove(index, expert, device)
+            self._versions[index] = layer.version
+            orphan_layers.extend([index] * len(orphans))
+            orphan_experts.extend(orphans)
+        self._tensor[:, :, device] = 0.0
+        self._counts[:] = np.stack([layer._counts for layer in self._layers])
+        self._shadow_counts[:, device] = 0
+        self._shadow_mask[:, :, device] = False
+        self._dest_share[:] = np.stack(
+            [layer._dest_share for layer in self._layers]
+        )
+        self._order[:, :, device] = _NO_HOST
+        return (
+            np.array(orphan_layers, dtype=np.int64),
+            np.array(orphan_experts, dtype=np.int64),
+        )
+
     def reset_shadows(self) -> None:
         """Drop every shadow replica on every layer."""
         for layer in self._layers:
             layer.reset_shadows()
         self._tensor[self._shadow_mask] = 0.0
-        self._dest_share[:] = self._tensor
-        self._counts[:] = 1
+        if self._dead_devices:
+            self._counts[:] = self._tensor.sum(axis=2)
+            counts = self._counts[:, :, None]
+            self._dest_share[:] = 0.0
+            np.divide(
+                self._tensor, counts, out=self._dest_share, where=counts > 0
+            )
+        else:
+            self._dest_share[:] = self._tensor
+            self._counts[:] = 1
         self._shadow_counts[:] = 0
         self._order[self._shadow_mask] = _NO_HOST
         self._shadow_mask[:] = False

@@ -25,6 +25,7 @@ from repro.network.alltoall import (
     AllToAllResult,
     DispatchPlan,
     build_dispatch_traffic,
+    clear_plan_caches,
     simulate_alltoall,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "AllToAllResult",
     "DispatchPlan",
     "build_dispatch_traffic",
+    "clear_plan_caches",
     "simulate_alltoall",
 ]

@@ -17,6 +17,7 @@ Two congestion regimes are supported:
 
 from dataclasses import dataclass, field
 
+from repro.faults.health import degraded_bandwidth
 from repro.network.phase import PhaseResult, simulate_phase
 from repro.network.traffic import TrafficMatrix
 from repro.topology.base import Topology
@@ -94,14 +95,15 @@ def _run_ring_steps(
                 for neighbour in (group[(i + 1) % n], group[(i - 1) % n]):
                     path = topology.route(member, neighbour)
                     flow_time = sum(
-                        half / link.bandwidth + link.latency for link in path
+                        half / degraded_bandwidth(topology, link.key) + link.latency
+                        for link in path
                     )
                     eq1_time = max(eq1_time, flow_time)
                     total_volume += half
                     for link in path:
                         link_bytes[link.key] = link_bytes.get(link.key, 0.0) + half
         saturation = max(
-            volume / topology.links[key].bandwidth
+            volume / degraded_bandwidth(topology, key)
             for key, volume in link_bytes.items()
         )
         step_duration = max(eq1_time, saturation)

@@ -1138,3 +1138,19 @@ def layered_dispatch_plan(
     )
     per_mapping[key] = (weakref.ref(mapping), versions, plan)
     return plan
+
+
+def clear_plan_caches() -> None:
+    """Drop every module-level pricing cache.
+
+    The caches are weakly keyed on placements/mappings and version-checked,
+    so stale *results* can't normally be served — but cache *state* (LRU
+    contents, per-layer sparse states, plan objects) can still leak across
+    tests or outlive a fault-injected topology change.  Tests clear them
+    between cases via an autouse fixture (``tests/conftest.py``); fault
+    tooling may call this after mutating a topology's health out-of-band.
+    """
+    _PLAN_CACHE.clear()
+    _PRICER_CACHE.clear()
+    _SPARSE_PRICER_CACHE.clear()
+    _LAYERED_PLAN_CACHE.clear()

@@ -4,6 +4,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.health import degraded_bandwidth, topology_health
 from repro.network.traffic import ArrayTrafficMatrix, Flow, TrafficMatrix
 from repro.topology.base import Topology
 
@@ -74,7 +75,31 @@ class _RouteCache:
         self._latencies = np.empty(0)
         # Primary-route per-link arrays for store-and-forward migration
         # pricing (no O1TURN split: a weight copy is a single transfer).
-        self._migration_pairs: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        # Entries carry the links' positions in ``self.keys`` so the
+        # bandwidths can be re-gathered when the fabric degrades.
+        self._migration_pairs: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        # Degraded-fabric bandwidth, cached per topology-health version.
+        # While the topology is pristine (or every degradation is lifted)
+        # this IS ``self.bandwidth`` — the identical array object — so the
+        # fault-free pricing path is untouched, bit for bit.
+        self._effective_bandwidth = self.bandwidth
+        self._effective_version = 0
+
+    def effective_bandwidth(self) -> np.ndarray:
+        """Per-link bandwidth with current link degradations applied."""
+        health = topology_health(self.topology)
+        if health is None:
+            return self.bandwidth
+        if health.version != self._effective_version:
+            factors = health.link_factors(self.keys)
+            if factors is None:
+                self._effective_bandwidth = self.bandwidth
+            else:
+                self._effective_bandwidth = self.bandwidth * factors
+            self._effective_version = health.version
+        return self._effective_bandwidth
 
     def pair(self, src: int, dst: int) -> tuple[np.ndarray, np.ndarray, float]:
         """(link indices, per-byte weights, path latency) for one pair."""
@@ -118,9 +143,14 @@ class _RouteCache:
             entry = (
                 np.array([link.bandwidth for link in path]),
                 np.array([link.latency for link in path]),
+                np.array([self.index[link.key] for link in path], dtype=np.intp),
             )
             self._migration_pairs[(src, dst)] = entry
-        return entry
+        bandwidths, latencies, positions = entry
+        effective = self.effective_bandwidth()
+        if effective is not self.bandwidth:
+            bandwidths = effective[positions]
+        return bandwidths, latencies
 
     def rows_for(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         """CSR row per (src, dst) pair, computing missing routes on demand."""
@@ -190,7 +220,9 @@ def phase_durations_from_link_volumes(
     cache link order; ``worst_latencies`` broadcasts against the leading
     axes.
     """
-    serialization = (link_volumes / _route_cache(topology).bandwidth).max(axis=-1)
+    serialization = (
+        link_volumes / _route_cache(topology).effective_bandwidth()
+    ).max(axis=-1)
     return serialization + worst_latencies
 
 
@@ -264,7 +296,7 @@ def simulate_phase(
             worst_latency = max(worst_latency, path_latency)
 
     busy = {
-        key: volume / topology.links[key].bandwidth
+        key: volume / degraded_bandwidth(topology, key)
         for key, volume in link_bytes.items()
     }
     serialization = max(
@@ -302,7 +334,7 @@ def _simulate_cut_through_arrays(
     link_indices = cache._cat_indices[gather]
     weights = cache._cat_weights[gather] * np.repeat(traffic.volume, counts)
     volumes = np.bincount(link_indices, weights=weights, minlength=cache.num_links)
-    serialization = float((volumes / cache.bandwidth).max())
+    serialization = float((volumes / cache.effective_bandwidth()).max())
     worst_latency = float(cache._latencies[rows].max())
     link_bytes = {
         cache.keys[position]: float(volumes[position])
@@ -339,7 +371,7 @@ def _simulate_cut_through(
         weights=np.concatenate(weight_arrays),
         minlength=cache.num_links,
     )
-    serialization = float((volumes / cache.bandwidth).max())
+    serialization = float((volumes / cache.effective_bandwidth()).max())
     link_bytes = {
         cache.keys[position]: float(volumes[position])
         for position in np.nonzero(volumes)[0]

@@ -1,0 +1,18 @@
+"""Shared fixtures for the whole test tree."""
+
+import pytest
+
+from repro.network import clear_plan_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_caches():
+    """Reset the module-level all-to-all plan/pricer caches around every test.
+
+    The caches key on topology *identity* (id()), so a topology object
+    garbage-collected mid-session can alias a later one and serve stale
+    plans.  Tests must never depend on cache warmth from a neighbour.
+    """
+    clear_plan_caches()
+    yield
+    clear_plan_caches()

@@ -163,8 +163,11 @@ class TestResolvedBehavior:
 
     def test_per_layer_alltoall_off_disables_resolution(self):
         """per_layer_demand only takes effect with per-layer pricing on —
-        the layer-0-broadcast oracle keeps its exact stream either way."""
-        a = make_simulator(GreedyBalancer, per_layer_alltoall=False).run()
+        the layer-0-broadcast oracle keeps its exact stream either way.
+        The inert combination warns loudly (ServingConfig.__post_init__)
+        but still runs identically to the explicit broadcast config."""
+        with pytest.warns(UserWarning, match="per_layer_demand.*inert"):
+            a = make_simulator(GreedyBalancer, per_layer_alltoall=False).run()
         b = make_simulator(
             GreedyBalancer, per_layer_alltoall=False, per_layer_demand=False
         ).run()

@@ -135,6 +135,26 @@ class TestTraceStats:
             ServingConfig(num_iterations=0)
         with pytest.raises(ValueError):
             ServingConfig(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ServingConfig(shadow_slots=-1)
+
+    def test_inert_demand_flag_combo_warns(self):
+        """per_layer_demand only reaches the pricer through the per-layer
+        plan; leaving it at its True default while switching per-layer
+        pricing off is silently inert and almost always a mistake."""
+        with pytest.warns(UserWarning, match="per_layer_demand.*inert"):
+            ServingConfig(per_layer_alltoall=False)
+        with pytest.warns(UserWarning, match="inert"):
+            ServingConfig(per_layer_alltoall=False, per_layer_demand=True)
+
+    def test_explicit_broadcast_combos_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ServingConfig(per_layer_alltoall=False, per_layer_demand=False)
+            ServingConfig(per_layer_alltoall=True, per_layer_demand=True)
+            ServingConfig(per_layer_alltoall=True, per_layer_demand=False)
 
 
 class TestSteadyTail:

@@ -1,0 +1,150 @@
+"""Fail-stop on placements: replica loss, orphans, dead-device invariants."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.placement import ExpertPlacement, StackedPlacement
+
+
+class TestExpertPlacementFailDevice:
+    def test_drops_native_and_shadow_replicas(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.add_replica(0, 1)  # shadow of expert 0 on device 1
+        orphans = placement.fail_device(1)
+        # Device 1 natively hosted experts 2 and 3; its shadow of expert 0
+        # dies with it, but expert 0's native survives on device 0.
+        assert orphans == [2, 3]
+        assert placement.replicas(0) == [0]
+        assert placement.replicas(2) == []
+        assert placement.orphaned_experts() == [2, 3]
+        assert placement.dead_devices == frozenset({1})
+
+    def test_matrix_and_counts_consistent(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.add_replica(0, 1)
+        placement.fail_device(1)
+        assert not placement.replica_matrix[:, 1].any()
+        np.testing.assert_array_equal(
+            placement.replica_counts, placement.replica_matrix.sum(axis=1)
+        )
+        # Orphan rows have all-zero destination shares, not NaN.
+        assert np.isfinite(placement.destination_shares).all()
+        np.testing.assert_array_equal(placement.destination_shares[2], 0.0)
+
+    def test_idempotent(self):
+        placement = ExpertPlacement(8, 4)
+        first = placement.fail_device(1)
+        version = placement.version
+        assert placement.fail_device(1) == []
+        assert placement.version == version
+        assert first == [2, 3]
+
+    def test_dead_device_has_no_shadow_capacity(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.fail_device(1)
+        assert placement.shadow_free(1) == 0
+        assert placement.shadow_free(0) == 2
+
+    def test_shadow_elsewhere_keeps_expert_alive(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.add_replica(2, 3)  # expert 2 native on 1, shadow on 3
+        orphans = placement.fail_device(1)
+        assert orphans == [3]
+        assert placement.replicas(2) == [3]
+        assert placement.destination_shares[2, 3] == 1.0
+
+    def test_reset_shadows_after_failure_reorphans(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.fail_device(1)
+        placement.add_replica(2, 0)  # repair expert 2 onto device 0
+        placement.add_replica(3, 2)
+        assert placement.orphaned_experts() == []
+        placement.reset_shadows()
+        # A reset discards repairs; dead natives stay dead.
+        assert placement.orphaned_experts() == [2, 3]
+        assert placement.replicas(0) == [0]
+        assert np.isfinite(placement.destination_shares).all()
+
+    def test_reset_shadows_fault_free_path_unchanged(self):
+        placement = ExpertPlacement(8, 4, shadow_slots=2)
+        placement.add_replica(0, 3)
+        placement.reset_shadows()
+        reference = ExpertPlacement(8, 4, shadow_slots=2)
+        np.testing.assert_array_equal(
+            placement.replica_matrix, reference.replica_matrix
+        )
+        np.testing.assert_array_equal(
+            placement.destination_shares, reference.destination_shares
+        )
+
+
+class TestStackedPlacementFailDevice:
+    def make(self, layers=3, experts=8, devices=4, shadow_slots=2):
+        return StackedPlacement(layers, experts, devices, shadow_slots=shadow_slots)
+
+    def test_fails_every_layer_and_stays_synced(self):
+        stacked = self.make()
+        stacked.add_replica(0, 0, 1)
+        stacked.add_replica(2, 5, 1)
+        layers, experts = stacked.fail_device(1)
+        # Experts 2 and 3 are native to device 1 in every layer; the
+        # shadows that died there had live natives elsewhere.
+        assert sorted(set(experts.tolist())) == [2, 3]
+        assert layers.size == 6
+        stacked.check_synced()
+        assert stacked.dead_devices == frozenset({1})
+        for layer in stacked.layers:
+            assert layer.dead_devices == frozenset({1})
+
+    def test_orphaned_matches_layers(self):
+        stacked = self.make()
+        stacked.fail_device(1)
+        layers, experts = stacked.orphaned()
+        assert layers.tolist() == [0, 0, 1, 1, 2, 2]
+        assert experts.tolist() == [2, 3, 2, 3, 2, 3]
+
+    def test_orphaned_empty_without_dead_devices(self):
+        stacked = self.make()
+        layers, experts = stacked.orphaned()
+        assert layers.size == 0 and experts.size == 0
+
+    def test_tensors_zeroed_for_dead_column(self):
+        stacked = self.make()
+        stacked.add_replica(1, 0, 1)
+        stacked.fail_device(1)
+        assert not stacked.replica_tensor[:, :, 1].any()
+        assert not stacked.shadow_mask[:, :, 1].any()
+        np.testing.assert_array_equal(stacked.shadow_counts[:, 1], 0)
+        np.testing.assert_array_equal(
+            stacked.replica_counts, stacked.replica_tensor.sum(axis=2)
+        )
+        assert np.isfinite(stacked.destination_shares).all()
+
+    def test_repair_then_check_synced(self):
+        stacked = self.make()
+        stacked.fail_device(1)
+        for layer in range(3):
+            stacked.add_replica(layer, 2, 0)
+            stacked.add_replica(layer, 3, 2)
+        layers, _ = stacked.orphaned()
+        assert layers.size == 0
+        stacked.check_synced()
+
+    def test_reset_shadows_after_failure(self):
+        stacked = self.make()
+        stacked.fail_device(1)
+        for layer in range(3):
+            stacked.add_replica(layer, 2, 0)
+        stacked.reset_shadows()
+        stacked.check_synced()
+        layers, experts = stacked.orphaned()
+        assert sorted(set(experts.tolist())) == [2, 3]
+        assert np.isfinite(stacked.destination_shares).all()
+
+    def test_idempotent(self):
+        stacked = self.make()
+        stacked.fail_device(1)
+        versions = stacked.versions.copy()
+        layers, experts = stacked.fail_device(1)
+        assert layers.size == 0 and experts.size == 0
+        np.testing.assert_array_equal(stacked.versions, versions)

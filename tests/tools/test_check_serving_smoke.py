@@ -356,3 +356,127 @@ class TestMainErrors:
         path.write_text(json.dumps(record(full_grid(walls))))
         assert check_serving_smoke.main([str(path)]) == 1
         assert "FAIL:" in capsys.readouterr().err
+
+
+def fault_config(
+    scenario="single_tile",
+    strategy="greedy",
+    kind="failstop",
+    recovery_iters=3.0,
+    repairs=4,
+    orphaned_final=0,
+    **extra,
+):
+    return {
+        "scenario": scenario,
+        "strategy": strategy,
+        "kind": kind,
+        "devices": 64,
+        "iterations": 80,
+        "fault_iteration": 30,
+        "recovery_iters": recovery_iters,
+        "recovered": recovery_iters is not None,
+        "repairs": repairs,
+        "orphaned_final": orphaned_final,
+        "degraded_fraction": 0.1,
+        **extra,
+    }
+
+
+def fault_grid(overrides=None):
+    """All four strategies over a fail-stop and a straggler scenario."""
+    configs = []
+    for scenario, kind in (("single_tile", "failstop"), ("stragglers", "stragglers")):
+        for strategy in ("none", "greedy", "topology", "non_invasive"):
+            fields = {
+                "repairs": 4 if kind == "failstop" else 0,
+                **(overrides or {}).get((scenario, strategy), {}),
+            }
+            configs.append(
+                fault_config(
+                    scenario=scenario, strategy=strategy, kind=kind, **fields
+                )
+            )
+    return configs
+
+
+def run_fault_checks(configs, *argv):
+    args = check_serving_smoke.parse_args(["record.json", *argv])
+    data = {"benchmark": "fault_tolerance", "configs": configs}
+    return check_serving_smoke.check_record(data, args)
+
+
+FAULT_AXES = ("--expect-faults", "single_tile,stragglers", "--max-recovery-iters", "20")
+
+
+class TestFaultGates:
+    def test_passing_record(self):
+        assert run_fault_checks(fault_grid(), *FAULT_AXES) == []
+
+    def test_wrong_scenario_axis(self):
+        configs = [c for c in fault_grid() if c["scenario"] == "single_tile"]
+        errors = run_fault_checks(configs, *FAULT_AXES)
+        assert any("scenario axis" in error for error in errors)
+
+    def test_missing_strategy_in_one_scenario(self):
+        configs = [
+            c
+            for c in fault_grid()
+            if not (c["scenario"] == "stragglers" and c["strategy"] == "greedy")
+        ]
+        errors = run_fault_checks(configs, *FAULT_AXES)
+        assert any("do not cover" in error for error in errors)
+
+    def test_failstop_without_repairs(self):
+        configs = fault_grid({("single_tile", "greedy"): {"repairs": 0}})
+        errors = run_fault_checks(configs, *FAULT_AXES)
+        assert any("no repairs" in error for error in errors)
+
+    def test_orphans_left_fails_gated_strategy(self):
+        configs = fault_grid({("single_tile", "non_invasive"): {"orphaned_final": 2}})
+        errors = run_fault_checks(configs, *FAULT_AXES)
+        assert any("still orphaned" in error for error in errors)
+
+    def test_recovery_over_budget(self):
+        configs = fault_grid({("single_tile", "greedy"): {"recovery_iters": 35.0}})
+        errors = run_fault_checks(configs, *FAULT_AXES)
+        assert any("budget 20" in error for error in errors)
+
+    def test_never_recovered(self):
+        configs = fault_grid({("single_tile", "greedy"): {"recovery_iters": None}})
+        errors = run_fault_checks(configs, *FAULT_AXES)
+        assert any("never recovered" in error for error in errors)
+
+    def test_ungated_strategies_may_lag(self):
+        # NoBalancer never restores its load ratio after capacity loss;
+        # the recovery budget only binds greedy and non_invasive.
+        configs = fault_grid(
+            {
+                ("single_tile", "none"): {"recovery_iters": None},
+                ("single_tile", "topology"): {"recovery_iters": 70.0},
+            }
+        )
+        assert run_fault_checks(configs, *FAULT_AXES) == []
+
+    def test_stragglers_not_recovery_gated(self):
+        configs = fault_grid(
+            {("stragglers", "greedy"): {"recovery_iters": None}}
+        )
+        assert run_fault_checks(configs, *FAULT_AXES) == []
+
+    def test_serving_record_rejected(self):
+        args = check_serving_smoke.parse_args(["record.json", *FAULT_AXES])
+        errors = check_serving_smoke.check_record(
+            record(full_grid()), args
+        )
+        assert any("not a fault_tolerance benchmark" in error for error in errors)
+
+    def test_main_success_print(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        path.write_text(
+            json.dumps({"benchmark": "fault_tolerance", "configs": fault_grid()})
+        )
+        assert check_serving_smoke.main([str(path), *FAULT_AXES]) == 0
+        out = capsys.readouterr().out
+        assert "fault recovery smoke ok" in out
+        assert "recovery single_tile/greedy" in out

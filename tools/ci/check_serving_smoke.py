@@ -18,6 +18,20 @@ are not comparable across groups, and skip sparse-only groups — the
 1024-device scale system measures no dense walls (its dense operator
 would be ~3.9 GiB), so only the memory-fraction gate applies there.
 
+With ``--expect-faults`` the checker instead validates a
+``BENCH_faults[.smoke].json`` record from the ``fault_tolerance`` spec:
+the scenario axis must match, every scenario must cover the record's
+strategy axis, fail-stop scenarios must have committed repairs, and —
+under ``--max-recovery-iters`` — the greedy and non-invasive strategies
+must end fail-stop runs with zero orphaned experts and a recovery time
+within the budget:
+
+    REPRO_FAULT_BENCH_SCENARIOS=single_tile \
+        PYTHONPATH=src python -m repro.experiments run fault_tolerance
+    python tools/ci/check_serving_smoke.py \
+        benchmarks/results/BENCH_faults.smoke.json \
+        --expect-faults single_tile --max-recovery-iters 20
+
 This is the logic that used to live as an inline heredoc in
 ``.github/workflows/ci.yml``; as a checked-in module it has unit tests
 (``tests/tools/test_check_serving_smoke.py``) and can be run locally:
@@ -135,6 +149,23 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         "fraction of its analytic dense_operator_bytes "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--expect-faults",
+        type=_csv_strs,
+        default=None,
+        metavar="S1,S2,...",
+        help="treat the record as a fault_tolerance benchmark and require "
+        "its scenario axis to be exactly this set (each scenario covering "
+        "every balancer strategy)",
+    )
+    parser.add_argument(
+        "--max-recovery-iters",
+        type=float,
+        default=None,
+        help="fault records only: every fail-stop config under the greedy "
+        "or non_invasive strategy must fully repair (no orphans left) and "
+        "recover its load ratio within this many iterations",
+    )
     return parser.parse_args(argv)
 
 
@@ -148,8 +179,80 @@ def _label(config: dict) -> str:
     )
 
 
+#: Strategies whose recovery time the CI budget gates.  NoBalancer cannot
+#: restore its load ratio after capacity loss (it never migrates beyond
+#: the emergency repairs) and the topology-aware balancer is the greedy
+#: upper bound — the budget binds the two strategies the paper ships.
+GATED_RECOVERY_STRATEGIES = ("greedy", "non_invasive")
+
+
+def check_fault_record(data: dict, args: argparse.Namespace) -> list[str]:
+    """Violations of the fault_tolerance recovery expectations."""
+    errors: list[str] = []
+    configs = data.get("configs")
+    if not configs:
+        return ["record has no configs"]
+    if data.get("benchmark") != "fault_tolerance":
+        errors.append(
+            "--expect-faults given but the record is not a "
+            f"fault_tolerance benchmark (got {data.get('benchmark')!r})"
+        )
+        return errors
+
+    scenarios = {config.get("scenario") for config in configs}
+    if scenarios != set(args.expect_faults):
+        errors.append(
+            f"scenario axis {sorted(scenarios, key=str)} != expected "
+            f"{sorted(set(args.expect_faults))}"
+        )
+    by_scenario: dict[str, set] = {}
+    for config in configs:
+        by_scenario.setdefault(config.get("scenario"), set()).add(
+            config.get("strategy")
+        )
+    strategy_axis = set().union(*by_scenario.values())
+    for scenario, strategies in sorted(by_scenario.items(), key=str):
+        if strategies != strategy_axis:
+            errors.append(
+                f"{scenario}: strategies {sorted(strategies, key=str)} do "
+                f"not cover the record's axis {sorted(strategy_axis, key=str)}"
+            )
+
+    for config in configs:
+        label = f"{config.get('scenario')}/{config.get('strategy')}"
+        if config.get("kind") == "failstop" and not config.get("repairs"):
+            errors.append(f"{label}: fail-stop scenario recorded no repairs")
+        if args.max_recovery_iters is None:
+            continue
+        if config.get("kind") != "failstop":
+            continue
+        if config.get("strategy") not in GATED_RECOVERY_STRATEGIES:
+            continue
+        if config.get("orphaned_final"):
+            errors.append(
+                f"{label}: {config['orphaned_final']} experts still "
+                "orphaned at the end of the run"
+            )
+        recovery = config.get("recovery_iters")
+        if recovery is None:
+            errors.append(f"{label}: never recovered the pre-fault load ratio")
+        else:
+            print(
+                f"recovery {label}: {recovery:.0f} iters "
+                f"(budget {args.max_recovery_iters:.0f})"
+            )
+            if recovery > args.max_recovery_iters:
+                errors.append(
+                    f"{label}: recovery took {recovery:.0f} iterations "
+                    f"(budget {args.max_recovery_iters:.0f})"
+                )
+    return errors
+
+
 def check_record(data: dict, args: argparse.Namespace) -> list[str]:
     """All violated expectations, as human-readable messages."""
+    if args.expect_faults is not None:
+        return check_fault_record(data, args)
     errors: list[str] = []
     configs = data.get("configs")
     if not configs:
@@ -365,6 +468,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: {error}", file=sys.stderr)
         return 1
     configs = data["configs"]
+    if args.expect_faults is not None:
+        print(
+            "fault recovery smoke ok:",
+            [
+                (
+                    config["scenario"],
+                    config["strategy"],
+                    config.get("recovery_iters"),
+                    config.get("repairs"),
+                    config.get("orphaned_final"),
+                )
+                for config in configs
+            ],
+        )
+        return 0
     print(
         "serving perf smoke ok:",
         [
