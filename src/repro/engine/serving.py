@@ -409,6 +409,11 @@ class ServingSimulator:
         self._in_flight: list[tuple[int, Migration, PendingMigration]] = []
         self._last_migration_iter = -(10**9)
 
+        #: Recycled (layers, groups, experts) demand buffer for the
+        #: resolved path — every cell is rewritten each iteration, so one
+        #: allocation serves the whole run.
+        self._counts_buffer: np.ndarray | None = None
+
         #: Fault-injection state.  An empty schedule is normalized to None
         #: so the zero-cost-when-disabled discipline (every fault branch
         #: guarded on ``self._faults is not None``) also covers it.
@@ -531,9 +536,11 @@ class ServingSimulator:
             # Group-resolved demand for every layer: layer 0 exact, later
             # layers split from their exact totals (flat selection-slot
             # model) so per-layer demand skew reaches the pricer.
-            counts = self.workload.next_group_counts()
+            counts, layer_loads = self.workload.next_group_counts(
+                return_loads=True, out=self._counts_buffer
+            )
+            self._counts_buffer = counts
             counts0 = counts[0]
-            layer_loads = counts.sum(axis=1)
         else:
             # Group-resolved counts only for layer 0 (the one whose
             # all-to-all is simulated); per-expert totals for every layer.
@@ -595,7 +602,11 @@ class ServingSimulator:
                 # PR 4 demand-broadcast price rides along as the companion
                 # component (its content grouping still collapses layers,
                 # so it only prices diverged placement groups).
-                demand_stack = counts * self.model.token_bytes
+                # Scale to bytes in place: layer 0 was simulated above from
+                # the raw counts, and the buffer is fully redrawn next
+                # iteration, so nothing reads the unscaled values again.
+                demand_stack = counts
+                demand_stack *= self.model.token_bytes
                 a2a_layers = plan.alltoall_durations_resolved(
                     demand_stack, breakdown.alltoall
                 )

@@ -122,3 +122,32 @@ class ResultCache:
             path.unlink()
             removed += 1
         return removed
+
+    def gc(self, specs, dry_run: bool = False) -> tuple[int, int]:
+        """Prune entries that can no longer be served as cache hits.
+
+        An entry is stale when its spec is no longer registered, or when
+        re-deriving the key for its stored parameters against the current
+        spec (version, point-module source) no longer matches the file
+        name — i.e. the spec's version was bumped or its module edited
+        since the entry was written.  Corrupt entries are pruned too.
+        Returns ``(removed, kept)``; ``dry_run`` counts without deleting.
+        """
+        by_name = {spec.name: spec for spec in specs}
+        removed = kept = 0
+        paths = sorted(self.root.glob("*.json")) if self.root.is_dir() else []
+        for path in paths:
+            try:
+                stored = RunResult.from_json(path.read_text())
+            except FileNotFoundError:
+                continue  # concurrent removal: nothing to account for
+            except (json.JSONDecodeError, KeyError, TypeError):
+                stored = None
+            spec = by_name.get(stored.spec) if stored is not None else None
+            if spec is not None and self.key(spec, stored.params) == path.stem:
+                kept += 1
+                continue
+            if not dry_run:
+                path.unlink()
+            removed += 1
+        return removed, kept

@@ -6,6 +6,7 @@ Examples::
     python -m repro.experiments run fig16 --jobs 4
     python -m repro.experiments run fig04 table1 --no-cache
     python -m repro.experiments clear-cache
+    python -m repro.experiments cache gc
 """
 
 import argparse
@@ -57,6 +58,22 @@ def _build_parser() -> argparse.ArgumentParser:
     clear.add_argument(
         "--cache-dir", default=None, help="override benchmarks/results/cache/"
     )
+
+    cache = sub.add_parser("cache", help="manage the on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    gc = cache_sub.add_parser(
+        "gc",
+        help="prune entries that can no longer be cache hits "
+        "(stale spec version, edited figure module, unregistered spec)",
+    )
+    gc.add_argument(
+        "--cache-dir", default=None, help="override benchmarks/results/cache/"
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without deleting",
+    )
     return parser
 
 
@@ -96,6 +113,17 @@ def _cmd_clear_cache(cache_dir=None) -> int:
     return 0
 
 
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    removed, kept = cache.gc(all_specs(), dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {removed} stale cached results from {cache.root} "
+        f"({kept} current entries kept)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -108,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     if args.command == "clear-cache":
         return _cmd_clear_cache(args.cache_dir)
+    if args.command == "cache":
+        if args.cache_command == "gc":
+            return _cmd_cache_gc(args)
+        raise AssertionError(f"unhandled cache command {args.cache_command!r}")
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -16,6 +16,7 @@ from repro.experiments.figures import (  # noqa: F401
     fig16,
     fig17,
     fault_tolerance,
+    sampling_speed,
     serving_speed,
     smoke,
     table1,

@@ -98,6 +98,9 @@ SPEC = register(
         render=render,
         # v3: demand-resolved per-layer all-to-all pricing (v2 priced
         # per-layer placements under layer-0 demand).
-        version=3,
+        # v4: exact multinomial deep-layer splits from the batched
+        # sampling kernels (v3 used the rescaled-Gaussian approximation,
+        # which drifted per-group totals and therefore every trace).
+        version=4,
     )
 )

@@ -125,7 +125,9 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             render=render,
             # v3: demand-resolved per-layer all-to-all pricing (v2 priced
             # per-layer placements under layer-0 demand).
-            version=3,
+            # v4: exact multinomial deep-layer splits from the batched
+            # sampling kernels replace the rescaled-Gaussian group split.
+            version=4,
         )
     )
 

@@ -134,8 +134,10 @@ def _spec(model_key: str, artifact: str) -> ExperimentSpec:
             # per-layer placements under layer-0 demand).  v4: the 256-die
             # WSC configs price through the sparse incremental operator
             # (the footprint auto rule selects it above 64 MiB; shifts are
-            # summation-order rounding, ~1e-12 relative).
-            version=4,
+            # summation-order rounding, ~1e-12 relative).  v5: exact
+            # multinomial deep-layer splits from the batched sampling
+            # kernels replace the rescaled-Gaussian group split.
+            version=5,
         )
     )
 

@@ -34,6 +34,10 @@ wall clock).  Its dimensions:
   rows let CI gate the sparse-vs-dense wall-clock ratio and the peak
   operator footprint; at 1024 devices only sparse rows exist.
 
+Every config also records the workload's resolved ``sampler``,
+``sampling_backend`` (``numba`` when importable, else ``numpy`` —
+``REPRO_SAMPLING_BACKEND`` overrides) and ``group_split``, so trajectory
+records from different sampling configurations are never conflated.
 Every config records ``devices``, ``operator``, the measured peak
 ``operator_bytes`` and the analytic ``dense_operator_bytes`` so
 ``tools/ci/check_serving_smoke.py`` can gate the scale claim: the
@@ -218,6 +222,9 @@ def run_point(params: dict) -> dict:
     if sparse_pricer is not None:
         operator_bytes = sparse_pricer.peak_operator_nbytes
     return {
+        "sampler": workload.sampler,
+        "sampling_backend": workload.sampling_backend,
+        "group_split": workload.group_split,
         "wall_s": wall,
         "iters_per_s": case["iterations"] / wall,
         "load_ratio": trace.mean_load_ratio(50),
@@ -251,6 +258,9 @@ def render(results) -> str:
                     "pricing": result.params["case"]["pricing"],
                     "demand": result.params["case"]["demand"],
                     "operator": result.params["case"]["operator"],
+                    "sampler": result.metrics["sampler"],
+                    "sampling_backend": result.metrics["sampling_backend"],
+                    "group_split": result.metrics["group_split"],
                     "iterations": result.params["case"]["iterations"],
                     "wall_s": result.metrics["wall_s"],
                     "iters_per_s": result.metrics["iters_per_s"],

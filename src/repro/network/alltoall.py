@@ -35,12 +35,18 @@ makes 1024+-device multi-wafer systems simulable.  See
 ``docs/pricing-operators.md`` for the model.
 """
 
+import os
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
+
+try:  # pragma: no cover - exercised via the CSR fast path when present
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - CI legs without scipy
+    _scipy_sparse = None
 
 from repro.network.phase import (
     PhaseResult,
@@ -350,6 +356,29 @@ def demand_from_counts(counts: np.ndarray, token_bytes: float) -> np.ndarray:
 # result for every layer whose placement content still matches layer 0's.
 
 
+#: Nonzero fraction below which the dense pricer's operator is re-stored
+#: as scipy CSR for the per-iteration volume product.  Mesh/torus route
+#: walks touch a handful of links per holder pair, so real operators sit
+#: around 2-5% density and the CSR product wins ~4x; near-dense operators
+#: (tiny test topologies) stay on the matmul.
+CSR_OPERATOR_MAX_DENSITY = 0.25
+
+
+def _csr_operator(operator: np.ndarray) -> "object | None":
+    """CSR form of a dense link operator when scipy + sparsity warrant it.
+
+    Returns ``None`` when scipy is unavailable, the operator is too dense
+    to profit, or ``REPRO_ALLTOALL_CSR=0`` forces the pure-numpy product
+    (the fallback CI legs and the equivalence tests use the same switch).
+    """
+    if _scipy_sparse is None or os.environ.get("REPRO_ALLTOALL_CSR") == "0":
+        return None
+    nnz = np.count_nonzero(operator)
+    if nnz > CSR_OPERATOR_MAX_DENSITY * operator.size:
+        return None
+    return _scipy_sparse.csr_array(operator)
+
+
 class LayeredAllToAllPricer:
     """Dense link operators pricing many placements' all-to-alls at once.
 
@@ -397,12 +426,27 @@ class LayeredAllToAllPricer:
                     if latency > cell_latency[1, group, dest]:
                         cell_latency[1, group, dest] = latency
         self.operator = operator.reshape(groups * devices, 2 * num_links)
+        #: CSR twin of ``operator`` for the volume product (None -> dense
+        #: matmul).  Same terms, CSR summation order (~1e-15); prices are
+        #: pure outputs — no balancer decision reads them — so the
+        #: reassociation cannot flip a trace.
+        self.operator_csr = _csr_operator(self.operator)
         #: (2, groups, devices) worst path latency over a cell's holder
         #: pairs — dispatch row 0, combine row 1.
         self.cell_latency = cell_latency
         #: (2, devices) worst latency per destination column, for the
         #: dense-demand fast path (active cells = hosted columns).
         self.column_latency = cell_latency.max(axis=1)
+        #: Cells in descending latency order per phase (flat (g, d)
+        #: indices) and the matching sorted latencies: the worst *active*
+        #: cell latency is the first active cell in this order, found by
+        #: one boolean gather + argmax per phase instead of
+        #: materializing a (layers, groups, devices) float where-mask.
+        flat_latency = cell_latency.reshape(2, -1)
+        self._latency_order = np.argsort(-flat_latency, axis=1)
+        self._latency_sorted = np.take_along_axis(
+            flat_latency, self._latency_order, axis=1
+        )
         self._holder_tensor: np.ndarray | None = None
 
     def link_volumes(
@@ -425,9 +469,8 @@ class LayeredAllToAllPricer:
         """
         cells = np.matmul(demand_bytes, shares)
         flat = cells.reshape(shares.shape[0], -1)
-        volumes = (flat @ self.operator).reshape(
-            shares.shape[0], 2, self.num_links
-        )
+        matrix = self.operator if self.operator_csr is None else self.operator_csr
+        volumes = (flat @ matrix).reshape(shares.shape[0], 2, self.num_links)
         return cells, volumes
 
     def dense_demand_latencies(self, shares: np.ndarray) -> np.ndarray:
@@ -467,18 +510,22 @@ class LayeredAllToAllPricer:
                 dense_latencies = self.dense_demand_latencies(shares)
             latencies = dense_latencies
         else:
-            # Zero demand cells deactivate their holder pairs; reduce each
-            # phase separately so the temporary stays (layers, G, D) — the
+            # Zero demand cells deactivate their holder pairs.  The worst
+            # active latency per layer is the first active cell in the
+            # precomputed descending-latency order — a boolean gather +
+            # argmax per phase, same exact float as the where/max
+            # reduction it replaces (no arithmetic, only selection).  The
             # big-expert figure models (mean tokens/expert ~4) draw zero
             # cells nearly every iteration, making this the common path.
-            active = cells > 0
-            latencies = np.stack(
-                [
-                    np.where(active, self.cell_latency[0], 0.0).max(axis=(1, 2)),
-                    np.where(active, self.cell_latency[1], 0.0).max(axis=(1, 2)),
-                ],
-                axis=1,
-            )
+            active = cells.reshape(cells.shape[0], -1) > 0
+            rows = np.arange(active.shape[0])
+            latencies = np.empty((active.shape[0], 2))
+            for phase in range(2):
+                ordered = active[:, self._latency_order[phase]]
+                first = ordered.argmax(axis=1)
+                latencies[:, phase] = np.where(
+                    ordered[rows, first], self._latency_sorted[phase, first], 0.0
+                )
         durations = phase_durations_from_link_volumes(
             self.topology, volumes, latencies
         )

@@ -11,6 +11,7 @@ popularity, the standard aggregate approximation of top-k routing (each of
 import numpy as np
 
 from repro.models.configs import MoEModelConfig
+from repro.workload import sampling
 from repro.workload.arrivals import ConstantMixer, ScenarioMixer
 from repro.workload.scenarios import ScenarioProfile
 
@@ -31,13 +32,23 @@ class GatingSimulator:
         balanced: force uniform popularity (the balanced-gating ablation of
             Sec. VI-B).
         group_split: how :meth:`next_group_counts` resolves layer totals
-            into DP groups for layers past the first — ``"gaussian"``
-            (default, a covariance-matched CLT split; float counts) or
-            ``"multinomial"`` (exact integer split under the same flat
-            selection-slot model, ~4x the RNG cost).
+            into DP groups for layers past the first — ``"multinomial"``
+            (default, the exact integer split under the flat
+            selection-slot model) or ``"gaussian"`` (a covariance-matched
+            CLT approximation; float counts, kept as the pinned oracle of
+            the pre-kernel default).
+        sampler: which multinomial-split implementation backs
+            ``group_split="multinomial"`` — ``"batched"`` (default, the
+            :mod:`repro.workload.sampling` thinning-tree kernels) or
+            ``"legacy"`` (the scalar ``Generator.binomial`` thinning
+            chain, bit-identical to the pre-kernel RNG stream).
+        sampling_backend: kernel backend for ``sampler="batched"`` —
+            ``"numpy"``, ``"numba"``, or ``None`` (auto-detect, numba
+            preferred when importable).
     """
 
     GROUP_SPLITS = ("gaussian", "multinomial")
+    SAMPLERS = ("batched", "legacy")
 
     def __init__(
         self,
@@ -49,7 +60,9 @@ class GatingSimulator:
         adaptation: float = 0.08,
         seed: int = 0,
         balanced: bool = False,
-        group_split: str = "gaussian",
+        group_split: str = "multinomial",
+        sampler: str = "batched",
+        sampling_backend: str | None = None,
     ) -> None:
         if num_groups <= 0 or tokens_per_group <= 0:
             raise ValueError("num_groups and tokens_per_group must be positive")
@@ -62,6 +75,10 @@ class GatingSimulator:
                 f"group_split must be one of {self.GROUP_SPLITS}, "
                 f"got {group_split!r}"
             )
+        if sampler not in self.SAMPLERS:
+            raise ValueError(
+                f"sampler must be one of {self.SAMPLERS}, got {sampler!r}"
+            )
         if isinstance(mixer, ScenarioProfile):
             mixer = ConstantMixer([mixer])
         self.model = model
@@ -72,6 +89,10 @@ class GatingSimulator:
         self.adaptation = adaptation
         self.balanced = balanced
         self.group_split = group_split
+        self.sampler = sampler
+        #: Resolved at construction so a bad/unavailable backend fails
+        #: loudly here, not mid-trace.
+        self.sampling_backend = sampling.resolve_backend(sampling_backend)
         self._rng = np.random.default_rng(seed)
         self._iteration = 0
         # Warm start far from the stationary profile: uniform popularity.
@@ -151,8 +172,20 @@ class GatingSimulator:
         self._iteration += 1
         return counts0, loads
 
-    def next_group_counts(self) -> np.ndarray:
+    def next_group_counts(
+        self, return_loads: bool = False, out: np.ndarray | None = None
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Advance one iteration; return (layers, groups, experts) demand.
+
+        With ``return_loads`` the (layers, experts) per-expert totals ride
+        along as a second array, sparing the serving loop one reduction
+        over the full demand tensor: the multinomial split preserves the
+        drawn layer totals bit-exactly, so they *are* the group sum (the
+        gaussian oracle's rescaled floats are not, and fall back to
+        summing).  ``out``, when given, receives the demand tensor in
+        place (every cell is overwritten) and is returned — the serving
+        loop recycles one buffer instead of faulting in ~1 MB per
+        iteration.
 
         The demand-resolved serving path: every layer gets its *own*
         group-resolved counts, so per-layer demand skew reaches the
@@ -173,13 +206,21 @@ class GatingSimulator:
            of a layer land independently, so a group's total fluctuates as
            ``Binomial(groups * selections, 1/groups)`` around
            ``selections`` instead of being pinned to it.  The split
-           preserves layer totals exactly and is drawn either as a
-           vectorized binomial-thinning chain (``group_split=
-           "multinomial"``, the exact integer law) or as its
-           covariance-matched CLT form (``"gaussian"``, the default: bulk
-           normals centered on ``total/groups`` with the multinomial
-           split's variance and negative cross-group correlation, clipped
-           at zero and rescaled — float demand, ~4x cheaper RNG).
+           preserves layer totals exactly and is drawn either as the
+           exact integer law (``group_split="multinomial"``, the
+           default — a :func:`repro.workload.sampling.multinomial_split`
+           binary thinning tree, or the legacy scalar thinning chain
+           under ``sampler="legacy"``) or as its covariance-matched CLT
+           form (``"gaussian"``: bulk normals centered on
+           ``total/groups`` with the multinomial split's variance and
+           negative cross-group correlation, clipped at zero and
+           rescaled — float demand, the pinned pre-kernel oracle).
+
+        The layer-total multinomials stay on ``Generator.multinomial``
+        deliberately: numpy's single batched C call is already exact *and*
+        faster than a kernel tree at that shape, and keeping it preserves
+        the :meth:`next_loads` RNG stream bit-for-bit — only the split
+        consumes differently across samplers.
 
         The stream consumes :meth:`next_loads`'s draws first and the split
         draws after, so a given seed yields yet another — equally
@@ -193,30 +234,65 @@ class GatingSimulator:
         counts0 = self._rng.multinomial(
             selections, popularity[0], size=num_groups
         ).astype(float)
-        counts = np.empty((self.num_layers, num_groups, model.num_experts))
+        shape = (self.num_layers, num_groups, model.num_experts)
+        if out is None:
+            counts = np.empty(shape)
+        else:
+            if out.shape != shape or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be float64 with shape {shape}, got "
+                    f"{out.dtype} {out.shape}"
+                )
+            counts = out
         counts[0] = counts0
+        totals = None
         if self.num_layers > 1:
             totals = self._rng.multinomial(
                 num_groups * selections,
                 popularity[1:, None, :],
                 size=(self.num_layers - 1, 1),
             )[:, 0, :]
-            counts[1:] = self._split_groups(totals)
+            self._split_groups(totals, out=counts[1:])
         self._iteration += 1
-        return counts
+        if not return_loads:
+            return counts
+        loads = np.empty((self.num_layers, model.num_experts))
+        loads[0] = counts0.sum(axis=0)
+        if totals is not None:
+            if self.group_split == "multinomial":
+                loads[1:] = totals
+            else:
+                loads[1:] = counts[1:].sum(axis=1)
+        return counts, loads
 
-    def _split_groups(self, totals: np.ndarray) -> np.ndarray:
+    def _split_groups(
+        self, totals: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Resolve (layers, experts) totals into (layers, groups, experts).
 
         Both modes preserve each (layer, expert) total exactly and model
         the flat selection-slot split ``Multinomial(total, 1/groups)``.
+        ``out``, when given, receives the split (and is returned).
         """
         num_groups = self.num_groups
         if self.group_split == "multinomial":
-            # Sequential binomial thinning: group g takes Binomial(rest,
-            # 1/(G-g)) of the remaining slots — the exact chain
-            # factorization of the uniform multinomial split, vectorized
-            # over every (layer, expert) cell per step.
+            if self.sampler == "batched":
+                # Binary thinning tree over batched Binomial(n, 1/2) /
+                # BTRS kernels — same exact law as the legacy chain
+                # (group slots are exchangeable), different bit-stream.
+                return sampling.multinomial_split(
+                    self._rng,
+                    totals,
+                    num_groups,
+                    axis=1,
+                    backend=self.sampling_backend,
+                    out=out,
+                )
+            # Legacy sequential binomial thinning: group g takes
+            # Binomial(rest, 1/(G-g)) of the remaining slots — the exact
+            # chain factorization of the uniform multinomial split,
+            # vectorized over every (layer, expert) cell per step but
+            # paying numpy's ~100 ns scalar floor per cell draw.
             split = np.empty(totals.shape[:1] + (num_groups,) + totals.shape[1:])
             remaining = totals.astype(np.int64)
             for group in range(num_groups - 1):
@@ -224,6 +300,9 @@ class GatingSimulator:
                 split[:, group, :] = taken
                 remaining -= taken
             split[:, num_groups - 1, :] = remaining
+            if out is not None:
+                out[...] = split
+                return out
             return split
         # Gaussian split: total/G + sqrt(total/G) * (Z - mean_g(Z)) has the
         # multinomial split's mean, variance (total/G)(1 - 1/G) and
@@ -240,6 +319,9 @@ class GatingSimulator:
         sums = split.sum(axis=1, keepdims=True)
         np.divide(totals[:, None, :], sums, out=sums, where=sums > 0)
         split *= sums
+        if out is not None:
+            out[...] = split
+            return out
         return split
 
     def expert_loads(self, counts: np.ndarray) -> np.ndarray:

@@ -90,3 +90,70 @@ class TestGetPut:
         assert cache.clear() == 1
         assert cache.get(spec, {"x": 1}) is None
         assert cache.clear() == 0
+
+
+class TestGc:
+    def _fill(self, cache, spec):
+        for x in (1, 2):
+            cache.put(
+                spec,
+                RunResult(
+                    spec=spec.name, params={"x": x}, metrics={"doubled": 2 * x}
+                ),
+            )
+
+    def test_current_entries_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        self._fill(cache, spec)
+        assert cache.gc([spec]) == (0, 2)
+        assert cache.get(spec, {"x": 1}) is not None
+
+    def test_version_bump_prunes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, _spec(version=1))
+        bumped = _spec(version=2)
+        assert cache.gc([bumped]) == (2, 0)
+        assert cache.get(_spec(version=1), {"x": 1}) is None
+
+    def test_mixed_versions_prune_only_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, _spec(version=1))
+        bumped = _spec(version=2)
+        self._fill(cache, bumped)
+        assert cache.gc([bumped]) == (2, 2)
+        assert cache.get(bumped, {"x": 1}) is not None
+
+    def test_unregistered_spec_pruned(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        self._fill(cache, spec)
+        assert cache.gc([_spec(name="other")]) == (2, 0)
+
+    def test_edited_point_source_pruned(self, tmp_path):
+        def other_point(params):
+            return {"doubled": params["x"] + params["x"]}
+
+        cache = ResultCache(tmp_path)
+        self._fill(cache, _spec())
+        assert cache.gc([_spec(point=other_point)]) == (2, 0)
+
+    def test_corrupt_entry_pruned(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(
+            spec, RunResult(spec=spec.name, params={"x": 1}, metrics={})
+        )
+        path.write_text("{not json")
+        assert cache.gc([spec]) == (1, 0)
+        assert not path.exists()
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, _spec(version=1))
+        assert cache.gc([_spec(version=2)], dry_run=True) == (2, 0)
+        assert cache.get(_spec(version=1), {"x": 1}) is not None
+
+    def test_missing_cache_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.gc([_spec()]) == (0, 0)

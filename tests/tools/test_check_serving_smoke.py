@@ -136,10 +136,12 @@ class TestPassingRecord:
         assert run_checks(full_grid(), *EXPECT_AXES) == []
 
     def test_ratios_under_budget_pass(self):
+        # Pricing gates against layer0, resolved demand against the
+        # per-layer broadcast path it rides on: 1.5x and 1.4x here.
         walls = {
             (58, "layer0", "broadcast"): 1.0,
-            (58, "per_layer", "broadcast"): 1.9,
-            (58, "per_layer", "resolved"): 2.4,
+            (58, "per_layer", "broadcast"): 1.5,
+            (58, "per_layer", "resolved"): 2.1,
         }
         assert run_checks(full_grid(walls), *EXPECT_AXES) == []
 
@@ -226,12 +228,16 @@ class TestRatioGates:
         assert any("per-layer pricing" in error and "2.10x" in error for error in errors)
 
     def test_demand_ratio_over_budget(self):
+        # The demand gate's baseline is the per-layer broadcast wall, not
+        # layer0 — resolution cost is budgeted against the path it
+        # extends.
         walls = {
             (58, "layer0", "broadcast"): 1.0,
-            (58, "per_layer", "resolved"): 2.6,
+            (58, "per_layer", "broadcast"): 1.25,
+            (58, "per_layer", "resolved"): 2.0,
         }
-        errors = run_checks(full_grid(walls), "--max-demand-ratio", "2.5")
-        assert any("resolved demand" in error and "2.60x" in error for error in errors)
+        errors = run_checks(full_grid(walls), "--max-demand-ratio", "1.5")
+        assert any("resolved demand" in error and "1.60x" in error for error in errors)
 
     def test_sparse_ratio_over_budget(self):
         errors = run_checks(
@@ -291,16 +297,17 @@ class TestRatioGates:
         ]
         errors = run_checks(configs)
         assert any(
-            "no (layer0/broadcast/dense) baseline" in error for error in errors
+            "no (per_layer/broadcast/dense) baseline" in error
+            for error in errors
         )
 
     def test_custom_budget_tightens_gate(self):
         walls = {
             (58, "layer0", "broadcast"): 1.0,
-            (58, "per_layer", "resolved"): 1.6,
+            (58, "per_layer", "resolved"): 1.4,
         }
         assert run_checks(full_grid(walls)) == []
-        errors = run_checks(full_grid(walls), "--max-demand-ratio", "1.5")
+        errors = run_checks(full_grid(walls), "--max-demand-ratio", "1.3")
         assert len(errors) == 1
 
     def test_scale_group_exempt_from_wall_gates(self):
@@ -480,3 +487,101 @@ class TestFaultGates:
         out = capsys.readouterr().out
         assert "fault recovery smoke ok" in out
         assert "recovery single_tile/greedy" in out
+
+
+def sampling_config(kernel, backend, lanes_per_s, repeats=30):
+    lanes = 3648
+    return {
+        "kernel": kernel,
+        "backend": backend,
+        "repeats": repeats,
+        "lanes": lanes,
+        "wall_s": lanes * repeats / lanes_per_s,
+        "lanes_per_s": lanes_per_s,
+        "slots_per_s": lanes_per_s * 256,
+    }
+
+
+def sampling_grid(backends=("numpy",), split_speed=2.0e6, legacy_speed=2.0e5):
+    """Every gated kernel per backend plus the scalar baselines."""
+    configs = []
+    for backend in backends:
+        for kernel in check_serving_smoke.SAMPLING_GATED_KERNELS:
+            speed = split_speed if kernel == "multinomial_split" else 5.0e6
+            configs.append(sampling_config(kernel, backend, speed))
+    configs.append(sampling_config("hex_split", "numpy", 1.0e6))
+    configs.append(sampling_config("legacy_chain", "generator", legacy_speed))
+    configs.append(sampling_config("generator_binomial", "generator", 6.0e6))
+    return configs
+
+
+def run_sampling_checks(configs, *argv):
+    args = check_serving_smoke.parse_args(["record.json", *argv])
+    data = {"benchmark": "sampling_speed", "configs": configs}
+    return check_serving_smoke.check_record(data, args)
+
+
+SAMPLING_AXES = ("--expect-sampling", "numpy", "--min-sampling-speedup", "2.0")
+
+
+class TestSamplingGates:
+    def test_passing_record(self):
+        assert run_sampling_checks(sampling_grid(), *SAMPLING_AXES) == []
+
+    def test_numba_leg_covers_both_backends(self):
+        configs = sampling_grid(backends=("numpy", "numba"))
+        assert (
+            run_sampling_checks(
+                configs, "--expect-sampling", "numpy,numba"
+            )
+            == []
+        )
+
+    def test_backend_axis_mismatch(self):
+        errors = run_sampling_checks(
+            sampling_grid(), "--expect-sampling", "numpy,numba"
+        )
+        assert any("backend axis" in error for error in errors)
+
+    def test_missing_gated_kernel(self):
+        configs = [
+            c for c in sampling_grid() if c["kernel"] != "binomial_btrs"
+        ]
+        errors = run_sampling_checks(configs, *SAMPLING_AXES)
+        assert any("no binomial_btrs config" in error for error in errors)
+
+    def test_speedup_under_floor(self):
+        configs = sampling_grid(split_speed=3.0e5)  # 1.5x the legacy chain
+        errors = run_sampling_checks(configs, *SAMPLING_AXES)
+        assert any("1.50x the" in error for error in errors)
+
+    def test_absolute_floor(self):
+        configs = sampling_grid(split_speed=5.0e4, legacy_speed=1.0e4)
+        errors = run_sampling_checks(configs, *SAMPLING_AXES)
+        assert any("under the floor" in error for error in errors)
+
+    def test_missing_legacy_baseline(self):
+        configs = [
+            c for c in sampling_grid() if c["kernel"] != "legacy_chain"
+        ]
+        errors = run_sampling_checks(configs, *SAMPLING_AXES)
+        assert any("no legacy_chain baseline" in error for error in errors)
+
+    def test_serving_record_rejected(self):
+        args = check_serving_smoke.parse_args(["record.json", *SAMPLING_AXES])
+        errors = check_serving_smoke.check_record(record(full_grid()), args)
+        assert any(
+            "not a sampling_speed benchmark" in error for error in errors
+        )
+
+    def test_main_success_print(self, tmp_path, capsys):
+        path = tmp_path / "sampling.json"
+        path.write_text(
+            json.dumps(
+                {"benchmark": "sampling_speed", "configs": sampling_grid()}
+            )
+        )
+        assert check_serving_smoke.main([str(path), *SAMPLING_AXES]) == 0
+        out = capsys.readouterr().out
+        assert "sampling perf smoke ok" in out
+        assert "vs legacy chain" in out

@@ -122,3 +122,83 @@ class TestWeightsBatchScan:
         batch = mixer.weights_batch(iteration=4, num_layers=5)
         np.testing.assert_array_equal(batch, np.broadcast_to(batch[0], batch.shape))
         np.testing.assert_array_equal(batch[0], mixer.weights(4))
+
+
+class TestRngDeterminism:
+    """Pinned stream contracts the request-level front end will rely on."""
+
+    def test_same_seed_same_weight_trace(self):
+        a = AzureLikeMixer(ALL, period_iters=60, noise=0.05, seed=7)
+        b = AzureLikeMixer(ALL, period_iters=60, noise=0.05, seed=7)
+        trace_a = np.stack([a.weights(t) for t in range(50)])
+        trace_b = np.stack([b.weights(t) for t in range(50)])
+        np.testing.assert_array_equal(trace_a, trace_b)
+
+    def test_different_seeds_diverge(self):
+        a = AzureLikeMixer(ALL, noise=0.05, seed=1)
+        b = AzureLikeMixer(ALL, noise=0.05, seed=2)
+        assert (a.weights(0) != b.weights(0)).any()
+
+    def test_batch_consumes_same_stream_as_sequential(self):
+        # One weights_batch(t, L) call must leave the RNG where L
+        # sequential weights(t) calls would.
+        a = AzureLikeMixer(ALL, noise=0.05, seed=3)
+        b = AzureLikeMixer(ALL, noise=0.05, seed=3)
+        a.weights_batch(0, 8)
+        for _ in range(8):
+            b.weights(0)
+        np.testing.assert_array_equal(a.weights(1), b.weights(1))
+
+    def test_noise_free_mixer_is_rng_free(self):
+        a = AzureLikeMixer(ALL, noise=0.0, seed=5)
+        before = a._rng.bit_generator.state["state"]["state"]
+        a.weights(3)
+        a.weights_batch(4, 16)
+        after = a._rng.bit_generator.state["state"]["state"]
+        assert before == after
+
+
+class TestRateMoments:
+    def test_period_average_rate_is_uniform(self):
+        # Phase-shifted raised cosines average to equal scenario shares
+        # over a full period — the long-run "request rate" per scenario.
+        mixer = AzureLikeMixer(ALL, period_iters=64, noise=0.0)
+        trace = np.stack([mixer.weights(t) for t in range(64)])
+        np.testing.assert_allclose(
+            trace.mean(axis=0), np.full(len(ALL), 0.25), atol=0.02
+        )
+
+    def test_noise_free_weights_are_periodic(self):
+        mixer = AzureLikeMixer(ALL, period_iters=48, noise=0.0)
+        np.testing.assert_allclose(mixer.weights(5), mixer.weights(53))
+
+    def test_ar1_noise_state_matches_stationary_moments(self):
+        # state' = 0.9 s + 0.1 z, z ~ N(0, noise^2): stationary mean 0,
+        # variance noise^2 / 19.
+        mixer = AzureLikeMixer(ALL, period_iters=60, noise=0.2, seed=11)
+        states = np.empty((4000, len(ALL)))
+        for t in range(4000):
+            mixer.weights(t)
+            states[t] = mixer._noise_state
+        warm = states[200:]
+        assert np.abs(warm.mean(axis=0)).max() < 0.01
+        np.testing.assert_allclose(
+            warm.var(axis=0), 0.2**2 / 19.0, rtol=0.15
+        )
+
+    def test_interval_drift_is_slow(self):
+        # Successive weight vectors move smoothly: the per-iteration step
+        # stays a small fraction of the weight scale, the "slow drift"
+        # property the gating warm-up depends on.
+        mixer = AzureLikeMixer(ALL, period_iters=600, noise=0.05, seed=13)
+        trace = np.stack([mixer.weights(t) for t in range(200)])
+        steps = np.abs(np.diff(trace, axis=0)).max(axis=1)
+        assert steps.max() < 0.05
+        assert steps.mean() < 0.01
+
+    def test_constant_mixer_rate_is_exact(self):
+        mixer = ConstantMixer(ALL, fixed_weights=[4, 2, 1, 1])
+        trace = np.stack([mixer.weights(t) for t in range(10)])
+        np.testing.assert_array_equal(
+            trace, np.tile([0.5, 0.25, 0.125, 0.125], (10, 1))
+        )

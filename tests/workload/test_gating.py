@@ -323,3 +323,92 @@ class TestValidation:
     def test_scenario_promoted_to_constant_mixer(self):
         sim = make_sim(mixer=MATH)
         assert isinstance(sim.mixer, ConstantMixer)
+
+
+class TestSamplerConfig:
+    def test_rejects_bad_sampler(self):
+        with pytest.raises(ValueError):
+            make_sim(sampler="compiled")
+
+    def test_rejects_bad_sampling_backend(self):
+        with pytest.raises(ValueError):
+            make_sim(sampling_backend="fortran")
+
+    def test_backend_resolved_at_construction(self):
+        sim = make_sim(sampling_backend="numpy")
+        assert sim.sampling_backend == "numpy"
+
+    def test_default_is_batched_multinomial(self):
+        sim = make_sim()
+        assert sim.group_split == "multinomial"
+        assert sim.sampler == "batched"
+
+    def test_legacy_sampler_splits_exactly(self):
+        sim = make_sim(sampler="legacy", num_layers=3)
+        counts = sim.next_group_counts()
+        assert (counts == np.round(counts)).all()
+        # Layer totals over groups match an oracle twin's draws exactly
+        # (the first two RNG consumptions are shared with next_loads).
+        _, loads = make_sim(sampler="legacy", num_layers=3).next_loads()
+        np.testing.assert_array_equal(counts.sum(axis=1), loads)
+
+    def test_batched_and_legacy_same_split_law(self):
+        """Tree vs sequential chain: same variance on the split cells."""
+        stats = []
+        for sampler in ("batched", "legacy"):
+            sim = make_sim(
+                sampler=sampler, num_layers=2, num_groups=4,
+                tokens_per_group=256, seed=3,
+            )
+            cells = np.stack(
+                [sim.next_group_counts()[1] for _ in range(400)]
+            )
+            totals = cells.sum(axis=1)
+            hot = totals.mean(axis=0) > 200
+            # Variance of cell - total/G isolates the split noise.
+            resid = cells[:, :, hot] - totals[:, None, hot] / 4
+            stats.append(resid.var())
+        assert abs(stats[0] / stats[1] - 1.0) < 0.15, stats
+
+
+class TestReturnLoads:
+    def test_multinomial_loads_equal_group_sum_exactly(self):
+        sim = make_sim(num_layers=4)
+        for _ in range(3):
+            counts, loads = sim.next_group_counts(return_loads=True)
+            np.testing.assert_array_equal(loads, counts.sum(axis=1))
+
+    def test_gaussian_loads_bitwise_equal_group_sum(self):
+        sim = make_sim(group_split="gaussian", num_layers=4)
+        counts, loads = sim.next_group_counts(return_loads=True)
+        np.testing.assert_array_equal(loads, counts.sum(axis=1))
+
+    def test_return_loads_consumes_same_stream(self):
+        a = make_sim(seed=11)
+        b = make_sim(seed=11)
+        counts_a = a.next_group_counts()
+        counts_b, _ = b.next_group_counts(return_loads=True)
+        np.testing.assert_array_equal(counts_a, counts_b)
+
+    def test_single_layer_loads(self):
+        sim = make_sim(num_layers=1)
+        counts, loads = sim.next_group_counts(return_loads=True)
+        np.testing.assert_array_equal(loads, counts.sum(axis=1))
+
+    def test_out_buffer_reused_and_rewritten(self):
+        sim = make_sim(num_layers=3)
+        ref = make_sim(num_layers=3)
+        buf = np.full(
+            (3, sim.num_groups, sim.model.num_experts), -1.0
+        )
+        first = sim.next_group_counts(out=buf)
+        assert first is buf
+        np.testing.assert_array_equal(first, ref.next_group_counts())
+        second = sim.next_group_counts(out=buf)
+        assert second is buf
+        np.testing.assert_array_equal(second, ref.next_group_counts())
+
+    def test_out_shape_validated(self):
+        sim = make_sim(num_layers=3)
+        with pytest.raises(ValueError):
+            sim.next_group_counts(out=np.empty((2, 2, 2)))

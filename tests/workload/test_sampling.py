@@ -1,0 +1,359 @@
+"""Distribution and determinism tests for the batched sampling kernels.
+
+The kernels must match ``numpy.random.Generator.binomial`` *in
+distribution* (they consume the bit stream differently, so never
+bit-for-bit): fixed-seed moment checks bound the first two moments and
+chi-squared goodness-of-fit tests compare full pmfs against exact
+binomial probabilities.  All statistics are deterministic (fixed seeds),
+so the critical values — 99.9th percentile via the Wilson–Hilferty cube
+approximation — gate real regressions, not sampling noise.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload import sampling
+from repro.workload.sampling import (
+    available_backends,
+    binomial,
+    binomial_half,
+    multinomial,
+    multinomial_split,
+    resolve_backend,
+)
+
+HAS_NUMBA = "numba" in available_backends()
+
+
+def chi2_critical(dof: int, z: float = 3.09) -> float:
+    """Wilson–Hilferty 99.9th-percentile chi-squared quantile."""
+    h = 2.0 / (9.0 * dof)
+    return dof * (1.0 - h + z * math.sqrt(h)) ** 3
+
+
+def binom_pmf(n: int, p: float) -> np.ndarray:
+    k = np.arange(n + 1)
+    comb = np.array([math.comb(n, int(i)) for i in k], dtype=float)
+    return comb * p**k * (1.0 - p) ** (n - k)
+
+
+def chi2_binomial(draws: np.ndarray, n: int, p: float) -> tuple[float, int]:
+    """Goodness-of-fit statistic against the exact ``Binomial(n, p)`` pmf,
+    tail bins lumped until every expected count is at least 8."""
+    expected = binom_pmf(n, p) * draws.size
+    counts = np.bincount(draws.astype(np.int64), minlength=n + 1).astype(float)
+    keep = expected >= 8.0
+    assert keep.any(), "test shape too small for a chi-squared bin"
+    lo = int(np.argmax(keep))
+    hi = int(n - np.argmax(keep[::-1]))
+    obs = np.concatenate(
+        [[counts[: lo + 1].sum()], counts[lo + 1 : hi], [counts[hi:].sum()]]
+    )
+    exp = np.concatenate(
+        [[expected[: lo + 1].sum()], expected[lo + 1 : hi], [expected[hi:].sum()]]
+    )
+    stat = float(((obs - exp) ** 2 / exp).sum())
+    return stat, obs.size - 1
+
+
+class TestBinomialHalf:
+    def test_moments_across_lane_sizes(self):
+        # Covers the one-word (<=64), two-word (<=128) and segmented paths.
+        rng = np.random.default_rng(101)
+        n = np.array([0, 1, 5, 31, 64, 65, 127, 128, 129, 300, 1000])
+        reps = 4000
+        draws = np.stack([binomial_half(rng, n) for _ in range(reps)])
+        assert (draws >= 0).all() and (draws <= n).all()
+        assert (draws[:, 0] == 0).all()
+        mean_err = np.abs(draws.mean(axis=0) - n / 2)
+        assert (mean_err <= 3.5 * np.sqrt(n / 4 / reps) + 1e-9).all()
+        var = draws.var(axis=0)
+        big = n >= 31
+        assert np.abs(var[big] / (n[big] / 4) - 1.0).max() < 0.12
+
+    @pytest.mark.parametrize("n", [10, 60, 100, 250])
+    def test_chi_squared_exact_pmf(self, n):
+        rng = np.random.default_rng(7 + n)
+        draws = np.concatenate(
+            [binomial_half(rng, np.full(500, n)) for _ in range(12)]
+        )
+        stat, dof = chi2_binomial(draws, n, 0.5)
+        assert stat < chi2_critical(dof), (n, stat, dof)
+
+    def test_matches_generator_binomial_moments(self):
+        # Same law as Generator.binomial(n, 0.5) on a fixed seed pair.
+        n = np.full(3000, 96)
+        ours = binomial_half(np.random.default_rng(3), np.tile(n, 10))
+        ref = np.random.default_rng(4).binomial(np.tile(n, 10), 0.5)
+        assert abs(ours.mean() - ref.mean()) < 0.25
+        assert abs(ours.var() / ref.var() - 1.0) < 0.05
+
+
+class TestBinomial:
+    def test_heterogeneous_moments(self):
+        rng = np.random.default_rng(11)
+        n = np.array([0, 4, 12, 40, 40, 200, 1000, 64])
+        p = np.array([0.3, 0.05, 0.5, 0.5, 0.9, 0.02, 0.25, 0.999])
+        reps = 4000
+        draws = np.stack([binomial(rng, n, p) for _ in range(reps)])
+        assert (draws >= 0).all() and (draws <= n).all()
+        mean = n * p
+        sd = np.sqrt(np.maximum(n * p * (1 - p), 1e-12) / reps)
+        assert (np.abs(draws.mean(axis=0) - mean) <= 4.0 * sd + 1e-9).all()
+        var = n * p * (1 - p)
+        well = var > 2.0
+        assert np.abs(draws.var(axis=0)[well] / var[well] - 1.0).max() < 0.12
+
+    @pytest.mark.parametrize(
+        "n,p",
+        [
+            (40, 0.5),  # BTRS bulk path (n*p >= 10)
+            (60, 0.08),  # inverse-CDF small-mean path
+            (25, 0.9),  # complement path (p > 1/2)
+            (500, 0.04),  # BTRS through a small p
+        ],
+    )
+    def test_chi_squared_vs_generator_law(self, n, p):
+        rng = np.random.default_rng(int(n * 1000 + p * 100))
+        draws = np.concatenate(
+            [binomial(rng, np.full(500, n), np.full(500, p)) for _ in range(12)]
+        )
+        stat, dof = chi2_binomial(draws, n, p)
+        assert stat < chi2_critical(dof), (n, p, stat, dof)
+
+    def test_edge_parameters(self):
+        rng = np.random.default_rng(0)
+        n = np.array([0, 10, 10, 10])
+        p = np.array([0.7, 0.0, 1.0, 0.5])
+        draws = binomial(rng, n, p)
+        assert draws[0] == 0 and draws[1] == 0 and draws[2] == 10
+        assert 0 <= draws[3] <= 10
+
+    def test_validates_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            binomial(rng, np.array([-1]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            binomial(rng, np.array([5]), np.array([1.5]))
+
+
+class TestMultinomial:
+    def test_sums_and_moments(self):
+        rng = np.random.default_rng(21)
+        p = np.array([[0.5, 0.25, 0.125, 0.125], [0.1, 0.2, 0.3, 0.4]])
+        n = np.array([96, 400])
+        reps = 3000
+        draws = np.stack([multinomial(rng, n, p) for _ in range(reps)])
+        assert (draws.sum(axis=-1) == n[None, :]).all()
+        mean = n[:, None] * p
+        sd = np.sqrt(mean * (1 - p) / reps)
+        assert (np.abs(draws.mean(axis=0) - mean) <= 4.0 * sd + 1e-9).all()
+
+    def test_zero_weight_category_draws_nothing(self):
+        rng = np.random.default_rng(5)
+        p = np.array([0.5, 0.0, 0.5])
+        draws = np.stack([multinomial(rng, 50, p) for _ in range(100)])
+        assert (draws[:, 1] == 0).all()
+        assert (draws.sum(axis=-1) == 50).all()
+
+    def test_validates_weights(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            multinomial(rng, 5, np.array([0.5, -0.1]))
+        with pytest.raises(ValueError):
+            multinomial(rng, 5, np.array([0.0, 0.0]))
+
+
+class TestMultinomialSplit:
+    @pytest.mark.parametrize("num_groups", [1, 2, 3, 4, 6, 8, 16, 32])
+    @pytest.mark.parametrize("shape,axis", [((40,), 0), ((7, 9), 1)])
+    def test_totals_preserved_exactly(self, num_groups, shape, axis):
+        rng = np.random.default_rng(31)
+        totals = np.random.default_rng(6).integers(0, 900, size=shape)
+        split = multinomial_split(rng, totals, num_groups, axis=axis)
+        assert split.dtype == np.int64
+        assert (split >= 0).all()
+        assert (split.sum(axis=axis) == totals).all()
+
+    def test_out_path_bitwise_matches_staging_path(self):
+        # The direct-into final level consumes the identical bit stream,
+        # so out= and the fresh-allocation path must agree exactly.
+        for num_groups in (2, 4, 8, 16):
+            totals = np.random.default_rng(8).integers(0, 900, size=(57, 128))
+            ref = multinomial_split(
+                np.random.default_rng(42), totals, num_groups, axis=1
+            )
+            out = np.empty(totals.shape[:1] + (num_groups,) + totals.shape[1:])
+            multinomial_split(
+                np.random.default_rng(42), totals, num_groups, axis=1, out=out
+            )
+            assert (out == ref).all(), num_groups
+
+    def test_float_out_holds_exact_integers(self):
+        rng = np.random.default_rng(9)
+        totals = np.random.default_rng(10).integers(0, 2000, size=(57, 128))
+        out = np.empty((57, 16, 128))
+        multinomial_split(rng, totals, 16, axis=1, out=out)
+        assert (out == np.round(out)).all()
+        assert (out.sum(axis=1) == totals).all()
+
+    def test_split_law_moments_and_covariance(self):
+        rng = np.random.default_rng(41)
+        n, G, reps = 192, 4, 4000
+        draws = np.stack(
+            [multinomial_split(rng, np.array([n]), G)[:, 0] for _ in range(reps)]
+        )
+        mean = draws.mean(axis=0)
+        assert np.abs(mean - n / G).max() < 4.0 * math.sqrt(n / G / reps) + 0.3
+        var = draws.var(axis=0)
+        exp_var = n * (1 / G) * (1 - 1 / G)
+        assert np.abs(var / exp_var - 1.0).max() < 0.12
+        cov = np.cov(draws[:, 0], draws[:, 1])[0, 1]
+        assert abs(cov / (-n / G**2) - 1.0) < 0.25
+
+    def test_marginal_chi_squared(self):
+        # One slot of Multinomial(n, 1/G) is Binomial(n, 1/G) exactly.
+        rng = np.random.default_rng(51)
+        n, G = 160, 16
+        draws = np.stack(
+            [multinomial_split(rng, np.full(200, n), G)[0] for _ in range(25)]
+        ).ravel()
+        stat, dof = chi2_binomial(draws, n, 1.0 / G)
+        assert stat < chi2_critical(dof), (stat, dof)
+
+    def test_skewed_lane_partition_tiers(self):
+        # Mixed lane sizes route through the fixed-word bulk + scattered
+        # two-word / segmented tails; each tier keeps the split law.
+        rng = np.random.default_rng(61)
+        n = np.array([40] * 40 + [90] * 8 + [700] * 3)
+        reps = 2500
+        draws = np.stack([multinomial_split(rng, n, 4, axis=0) for _ in range(reps)])
+        assert (draws.sum(axis=1) == n[None, :]).all()
+        var = draws.var(axis=0)
+        exp_var = n * 0.25 * 0.75
+        for tier in (n == 40, n == 90, n == 700):
+            ratio = var[:, tier].mean() / exp_var[tier].mean()
+            assert abs(ratio - 1.0) < 0.1, ratio
+
+    def test_matches_legacy_thinning_chain_in_distribution(self):
+        # The tree and the sequential chain factorize the same joint law.
+        n, G, reps = 128, 8, 3000
+        tree = np.stack(
+            [
+                multinomial_split(np.random.default_rng(100 + i), np.array([n]), G)[
+                    :, 0
+                ]
+                for i in range(reps)
+            ]
+        )
+        chain = np.empty((reps, G))
+        for i in range(reps):
+            rng = np.random.default_rng(5000 + i)
+            remaining = n
+            for g in range(G - 1):
+                taken = rng.binomial(remaining, 1.0 / (G - g))
+                chain[i, g] = taken
+                remaining -= taken
+            chain[i, G - 1] = remaining
+        assert abs(tree.mean() - chain.mean()) < 0.2
+        assert abs(tree.var() / chain.var() - 1.0) < 0.1
+
+    def test_validates_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            multinomial_split(rng, np.array([5]), 0)
+        with pytest.raises(ValueError):
+            multinomial_split(rng, np.array([5]), 4, out=np.empty((3, 1)))
+
+
+class TestQuadAndHexKernels:
+    def test_quad_split_strided_float_view(self):
+        # The tree's final level writes into a moveaxis view; row writes
+        # must land in the caller's memory, bitwise equal to the int64
+        # staging result.
+        n = np.random.default_rng(3).integers(0, 800, size=(4, 57, 128))
+        ref = sampling._quad_split(np.random.default_rng(77), n.reshape(-1))
+        host = np.empty((57, 4 * 4, 128))
+        view = np.moveaxis(host, 1, 0).reshape((4, 4) + (57, 128))
+        assert np.may_share_memory(view, host)
+        sampling._quad_split(np.random.default_rng(77), n, out=view)
+        assert (view.reshape(4, -1) == ref).all()
+
+    def test_hex_split_exact_and_distributed(self):
+        rng = np.random.default_rng(13)
+        n = np.array([0, 3, 50, 100, 300] * 20)
+        reps = 1500
+        outs = np.stack(
+            [
+                sampling._hex_split(rng, n, np.empty((16, n.size)))
+                for _ in range(reps)
+            ]
+        )
+        assert (outs == np.round(outs)).all()
+        assert (outs.sum(axis=1) == n[None, :]).all()
+        big = n == 300
+        var = outs.var(axis=0)[:, big]
+        exp_var = 300 * (1 / 16) * (15 / 16)
+        assert abs(var.mean() / exp_var - 1.0) < 0.1
+
+
+class TestBackends:
+    def test_numpy_backend_deterministic(self):
+        n = np.arange(200) * 7 % 300
+        p = np.linspace(0.01, 0.99, 200)
+        a = binomial(np.random.default_rng(1), n, p, backend="numpy")
+        b = binomial(np.random.default_rng(1), n, p, backend="numpy")
+        c = binomial(np.random.default_rng(2), n, p, backend="numpy")
+        assert (a == b).all()
+        assert (a != c).any()
+
+    def test_split_deterministic_per_seed(self):
+        totals = np.arange(100) * 13 % 500
+        a = multinomial_split(np.random.default_rng(5), totals, 16)
+        b = multinomial_split(np.random.default_rng(5), totals, 16)
+        assert (a == b).all()
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_backend("cython")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLING_BACKEND", "numpy")
+        assert sampling.default_backend() == "numpy"
+        monkeypatch.setenv("REPRO_SAMPLING_BACKEND", "not-a-backend")
+        with pytest.raises(ValueError):
+            sampling.default_backend()
+
+    def test_available_backends_shape(self):
+        backends = available_backends()
+        assert backends[-1] == "numpy"
+        assert set(backends) <= set(sampling.BACKENDS)
+
+    @pytest.mark.skipif(not HAS_NUMBA, reason="numba not importable")
+    def test_numba_backend_matches_law(self):
+        n = np.array([0, 5, 40, 300] * 50)
+        p = np.array([0.5, 0.1, 0.5, 0.02] * 50)
+        reps = 1500
+        rng = np.random.default_rng(17)
+        draws = np.stack(
+            [binomial(rng, n, p, backend="numba") for _ in range(reps)]
+        )
+        assert (draws >= 0).all() and (draws <= n).all()
+        mean = n * p
+        sd = np.sqrt(np.maximum(n * p * (1 - p), 1e-9) / reps)
+        assert (np.abs(draws.mean(axis=0) - mean) <= 4.5 * sd + 1e-9).all()
+        totals = np.arange(60) * 11 % 400
+        split = multinomial_split(
+            np.random.default_rng(19), totals, 16, backend="numba"
+        )
+        assert (split.sum(axis=0) == totals).all()
+
+    @pytest.mark.skipif(not HAS_NUMBA, reason="numba not importable")
+    def test_numba_backend_deterministic(self):
+        n = np.array([12, 80, 250] * 30)
+        p = np.full(n.size, 0.5)
+        a = binomial(np.random.default_rng(23), n, p, backend="numba")
+        b = binomial(np.random.default_rng(23), n, p, backend="numba")
+        assert (a == b).all()

@@ -6,12 +6,15 @@ Validates a ``BENCH_serving.smoke.json`` (or the full-length
 must cover the expected depth/pricing/demand/devices axes, every config
 must have a positive wall clock at the expected iteration count, and —
 per device-count group, at its deepest measured layer count — per-layer
-all-to-all pricing and demand-resolved pricing must stay within their
-wall-clock budgets of the layer-0-broadcast baseline, the sparse
-operator within its budget of the dense operator, and — in sparse-only
-device groups, the systems dense pricing cannot reach — peak operator
-memory below the configured fraction of the analytic dense-operator
-footprint (the 1024-device scale claim).
+all-to-all pricing must stay within its wall-clock budget of the
+layer-0-broadcast baseline, demand-resolved pricing within its budget of
+the *per-layer broadcast* path (the two budgets decompose the old single
+resolved-vs-layer0 gate: pricing fidelity and demand resolution are
+separate costs, and each is gated against the path it adds to), the
+sparse operator within its budget of the dense operator, and — in
+sparse-only device groups, the systems dense pricing cannot reach — peak
+operator memory below the configured fraction of the analytic
+dense-operator footprint (the 1024-device scale claim).
 
 Wall-clock gates run within each ``devices`` group because the systems
 are not comparable across groups, and skip sparse-only groups — the
@@ -41,8 +44,22 @@ This is the logic that used to live as an inline heredoc in
         benchmarks/results/BENCH_serving.smoke.json \
         --expect-layers 2,58 --expect-pricing layer0,per_layer \
         --expect-demand broadcast,resolved --expect-devices 64,1024 \
-        --max-pricing-ratio 2.0 --max-demand-ratio 2.5 \
+        --max-pricing-ratio 1.6 --max-demand-ratio 1.5 \
         --max-sparse-ratio 2.0 --max-operator-mem-fraction 0.1
+
+With ``--expect-sampling`` the checker instead validates a
+``BENCH_sampling[.smoke].json`` record from the ``sampling_speed`` spec:
+the backend axis must cover the given set, every batched kernel must
+appear for every backend, and — per backend — the batched
+``multinomial_split`` hot path must beat the legacy scalar thinning
+chain by ``--min-sampling-speedup`` and clear the
+``--min-sampling-lanes-per-s`` absolute throughput floor:
+
+    REPRO_SAMPLING_BENCH_REPEATS=30 \
+        PYTHONPATH=src python -m repro.experiments run sampling_speed
+    python tools/ci/check_serving_smoke.py \
+        benchmarks/results/BENCH_sampling.smoke.json \
+        --expect-sampling numpy --min-sampling-speedup 2.0
 
 Exit status 0 means every check passed; 1 reports each violation on
 stderr (CI retries once on the assumption of a noisy runner).
@@ -119,7 +136,7 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument(
         "--max-pricing-ratio",
         type=float,
-        default=2.0,
+        default=1.6,
         help="wall-clock budget of (per_layer, broadcast) relative to "
         "(layer0, broadcast) at the deepest measured depth "
         "(default: %(default)s)",
@@ -127,10 +144,11 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     parser.add_argument(
         "--max-demand-ratio",
         type=float,
-        default=2.5,
+        default=1.5,
         help="wall-clock budget of (per_layer, resolved) relative to "
-        "(layer0, broadcast) at the deepest measured depth "
-        "(default: %(default)s)",
+        "(per_layer, broadcast) at the deepest measured depth — the "
+        "marginal cost of exact demand resolution over the per-layer "
+        "pricing it rides on (default: %(default)s)",
     )
     parser.add_argument(
         "--max-sparse-ratio",
@@ -148,6 +166,30 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="ceiling on every sparse config's peak operator_bytes as a "
         "fraction of its analytic dense_operator_bytes "
         "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--expect-sampling",
+        type=_csv_strs,
+        default=None,
+        metavar="B1,B2,...",
+        help="treat the record as a sampling_speed benchmark and require "
+        "its backend axis to cover exactly this set (every batched kernel "
+        "measured per backend)",
+    )
+    parser.add_argument(
+        "--min-sampling-speedup",
+        type=float,
+        default=2.0,
+        help="sampling records only: per backend, the batched "
+        "multinomial_split throughput must be at least this multiple of "
+        "the legacy scalar thinning chain's (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-sampling-lanes-per-s",
+        type=float,
+        default=1e5,
+        help="sampling records only: absolute lanes/s floor on the batched "
+        "multinomial_split hot path (default: %(default)s)",
     )
     parser.add_argument(
         "--expect-faults",
@@ -249,10 +291,85 @@ def check_fault_record(data: dict, args: argparse.Namespace) -> list[str]:
     return errors
 
 
+#: The kernels the sampling record must measure for every backend (the
+#: numpy-only and baseline rows are extras the gate does not require).
+SAMPLING_GATED_KERNELS = (
+    "binomial_half",
+    "binomial_btrs",
+    "binomial_inversion",
+    "multinomial_split",
+)
+
+
+def check_sampling_record(data: dict, args: argparse.Namespace) -> list[str]:
+    """Violations of the sampling_speed throughput expectations."""
+    errors: list[str] = []
+    configs = data.get("configs")
+    if not configs:
+        return ["record has no configs"]
+    if data.get("benchmark") != "sampling_speed":
+        return [
+            "--expect-sampling given but the record is not a "
+            f"sampling_speed benchmark (got {data.get('benchmark')!r})"
+        ]
+
+    expected = set(args.expect_sampling)
+    backends = {
+        config.get("backend")
+        for config in configs
+        if config.get("backend") != "generator"
+    }
+    if backends != expected:
+        errors.append(
+            f"backend axis {sorted(backends, key=str)} != expected "
+            f"{sorted(expected)}"
+        )
+    throughput = {
+        (config.get("kernel"), config.get("backend")): config.get(
+            "lanes_per_s", 0.0
+        )
+        for config in configs
+    }
+    legacy = throughput.get(("legacy_chain", "generator"))
+    if not legacy:
+        errors.append("record holds no legacy_chain baseline to gate against")
+    for backend in sorted(expected):
+        for kernel in SAMPLING_GATED_KERNELS:
+            if (kernel, backend) not in throughput:
+                errors.append(f"{backend}: no {kernel} config in the record")
+        split = throughput.get(("multinomial_split", backend))
+        if not split:
+            continue
+        print(
+            f"multinomial_split[{backend}]: {split / 1e6:.2f} Mlanes/s "
+            f"(floor {args.min_sampling_lanes_per_s / 1e6:.2f})"
+        )
+        if split < args.min_sampling_lanes_per_s:
+            errors.append(
+                f"{backend}: multinomial_split throughput "
+                f"{split:.0f} lanes/s under the floor "
+                f"{args.min_sampling_lanes_per_s:.0f}"
+            )
+        if legacy:
+            speedup = split / legacy
+            print(
+                f"multinomial_split[{backend}] vs legacy chain: "
+                f"{speedup:.1f}x (floor {args.min_sampling_speedup}x)"
+            )
+            if speedup < args.min_sampling_speedup:
+                errors.append(
+                    f"{backend}: multinomial_split only {speedup:.2f}x the "
+                    f"legacy chain (floor {args.min_sampling_speedup}x)"
+                )
+    return errors
+
+
 def check_record(data: dict, args: argparse.Namespace) -> list[str]:
     """All violated expectations, as human-readable messages."""
     if args.expect_faults is not None:
         return check_fault_record(data, args)
+    if args.expect_sampling is not None:
+        return check_sampling_record(data, args)
     errors: list[str] = []
     configs = data.get("configs")
     if not configs:
@@ -387,7 +504,7 @@ def check_record(data: dict, args: argparse.Namespace) -> list[str]:
             (
                 "resolved demand",
                 ("per_layer", "resolved", "dense"),
-                ("layer0", "broadcast", "dense"),
+                ("per_layer", "broadcast", "dense"),
                 args.max_demand_ratio,
             ),
         ]
@@ -478,6 +595,19 @@ def main(argv: list[str] | None = None) -> int:
                     config.get("recovery_iters"),
                     config.get("repairs"),
                     config.get("orphaned_final"),
+                )
+                for config in configs
+            ],
+        )
+        return 0
+    if args.expect_sampling is not None:
+        print(
+            "sampling perf smoke ok:",
+            [
+                (
+                    config["kernel"],
+                    config["backend"],
+                    round(config["lanes_per_s"] / 1e6, 2),
                 )
                 for config in configs
             ],
