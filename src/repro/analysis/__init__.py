@@ -1,5 +1,6 @@
-"""Analysis helpers: load accounting, breakdowns, text reporting."""
+"""Analysis helpers: load accounting, breakdowns, reporting, repro-lint."""
 
+from repro.analysis.lint import RULES, Violation, lint_file, lint_paths
 from repro.analysis.load import device_token_loads, imbalance_degree, load_ratio
 from repro.analysis.report import bar_chart, format_table, relative
 
@@ -10,4 +11,8 @@ __all__ = [
     "format_table",
     "bar_chart",
     "relative",
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
 ]

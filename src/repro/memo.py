@@ -14,6 +14,8 @@ is ``self``.
 
 import functools
 
+from repro import sanitize
+
 _UNSET = object()
 
 
@@ -21,9 +23,14 @@ def instance_memo(attr: str):
     """Memoize a method in the per-instance dict ``self.<attr>``.
 
     The dict is created lazily on first call (safe during ``__init__``
-    ordering), keyed by the positional argument tuple; computed values —
+    ordering, and — via ``object.__setattr__`` — on frozen dataclasses
+    too), keyed by the positional argument tuple; computed values —
     including ``None`` — are stored as-is.  The decorated method must be
     pure for fixed ``self`` and take hashable positional arguments only.
+
+    Memoized values are cache-resident: every later call returns the same
+    object, so under ``REPRO_SANITIZE=1`` array results are frozen
+    read-only at store time (see :mod:`repro.sanitize`).
     """
 
     def decorate(fn):
@@ -32,10 +39,10 @@ def instance_memo(attr: str):
             memo = getattr(self, attr, None)
             if memo is None:
                 memo = {}
-                setattr(self, attr, memo)
+                object.__setattr__(self, attr, memo)
             entry = memo.get(args, _UNSET)
             if entry is _UNSET:
-                entry = fn(self, *args)
+                entry = sanitize.freeze(fn(self, *args))
                 memo[args] = entry
             return entry
 

@@ -48,6 +48,7 @@ try:  # pragma: no cover - exercised via the CSR fast path when present
 except ImportError:  # pragma: no cover - CI legs without scipy
     _scipy_sparse = None
 
+from repro import sanitize
 from repro.network.phase import (
     PhaseResult,
     phase_durations_from_link_volumes,
@@ -170,6 +171,20 @@ class DispatchPlan:
             self.dense_bin = np.empty(0, dtype=np.intp)
             self.dense_src = np.empty(0, dtype=np.intp)
             self.dense_dst = np.empty(0, dtype=np.intp)
+        # Plans are cached and served to every later iteration; under the
+        # sanitizer their arrays are frozen so an aliasing caller raises
+        # instead of corrupting subsequent traffic aggregation.
+        sanitize.freeze(
+            (
+                self.entry_cell,
+                self.entry_share,
+                self.entry_frac,
+                self.entry_key,
+                self.dense_bin,
+                self.dense_src,
+                self.dense_dst,
+            )
+        )
 
     def traffic(self, demand_bytes: np.ndarray) -> ArrayTrafficMatrix:
         """Aggregate one iteration's dispatch traffic from a demand matrix."""
@@ -557,7 +572,7 @@ class LayeredAllToAllPricer:
                     for holder, fraction in self._table.entries(group, dest):
                         if holder != dest:
                             tensor[group, dest, holder] = fraction
-            self._holder_tensor = tensor
+            self._holder_tensor = sanitize.freeze(tensor)
         return self._holder_tensor
 
 
@@ -779,6 +794,7 @@ class SparseAllToAllPricer:
                 group=np.empty(0, dtype=np.intp),
                 latency=latency,
             )
+        sanitize.freeze((rows.link_idx, rows.weight, rows.group, rows.latency))
         self._dest_rows[dest] = rows
         self.dest_row_builds += 1
         self._note_memory()
@@ -832,6 +848,17 @@ class SparseAllToAllPricer:
                 latency.max(axis=(1, 2)) if n else np.zeros(2)
             ),
         )
+        sanitize.freeze(
+            (
+                gather.dests,
+                gather.cell,
+                gather.weight,
+                gather.row_starts,
+                gather.row_links,
+                gather.latency,
+                gather.dense_latency,
+            )
+        )
         self._gathers[dests] = gather
         if len(self._gathers) > self.GATHER_CACHE_CAP:
             self._gathers.popitem(last=False)
@@ -850,7 +877,7 @@ class SparseAllToAllPricer:
         state = _SparseLayerState(
             version=placement.version,
             gather=gather,
-            shares_small=shares[:, dests].copy(),
+            shares_small=sanitize.freeze(shares[:, dests].copy()),
         )
         self._states[placement] = state
         self.state_rebuilds += 1
@@ -1060,14 +1087,16 @@ class LayeredDispatchPlan:
                     for layer in representatives[1:]
                 ]
             else:
-                self.diverged_shares = np.stack(
-                    [
-                        placements[layer].destination_shares
-                        for layer in representatives[1:]
-                    ]
+                self.diverged_shares = sanitize.freeze(
+                    np.stack(
+                        [
+                            placements[layer].destination_shares
+                            for layer in representatives[1:]
+                        ]
+                    )
                 )
-                self._dense_latencies = self.pricer.dense_demand_latencies(
-                    self.diverged_shares
+                self._dense_latencies = sanitize.freeze(
+                    self.pricer.dense_demand_latencies(self.diverged_shares)
                 )
 
     def alltoall_durations(
@@ -1101,11 +1130,13 @@ class LayeredDispatchPlan:
             if self._stacked_shares is not None:
                 self._resolved_shares = self._stacked_shares[1:]
             else:
-                self._resolved_shares = np.stack(
-                    [p.destination_shares for p in self._placements[1:]]
+                self._resolved_shares = sanitize.freeze(
+                    np.stack(
+                        [p.destination_shares for p in self._placements[1:]]
+                    )
                 )
-            self._resolved_latencies = self.pricer.dense_demand_latencies(
-                self._resolved_shares
+            self._resolved_latencies = sanitize.freeze(
+                self.pricer.dense_demand_latencies(self._resolved_shares)
             )
         return self._resolved_shares, self._resolved_latencies
 

@@ -4,6 +4,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import sanitize
 from repro.faults.health import degraded_bandwidth, topology_health
 from repro.network.traffic import ArrayTrafficMatrix, Flow, TrafficMatrix
 from repro.topology.base import Topology
@@ -54,8 +55,8 @@ class _RouteCache:
         self.topology = topology
         self.keys = list(topology.links)
         self.index = {key: position for position, key in enumerate(self.keys)}
-        self.bandwidth = np.array(
-            [topology.links[key].bandwidth for key in self.keys]
+        self.bandwidth = sanitize.freeze(
+            np.array([topology.links[key].bandwidth for key in self.keys])
         )
         self.num_links = len(self.keys)
         self._pairs: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, float]] = {}
@@ -97,7 +98,9 @@ class _RouteCache:
             if factors is None:
                 self._effective_bandwidth = self.bandwidth
             else:
-                self._effective_bandwidth = self.bandwidth * factors
+                self._effective_bandwidth = sanitize.freeze(
+                    self.bandwidth * factors
+                )
             self._effective_version = health.version
         return self._effective_bandwidth
 
@@ -124,7 +127,7 @@ class _RouteCache:
             latency = max(
                 sum(link.latency for link in path) for path in routes
             )
-            entry = (indices, weights, latency)
+            entry = sanitize.freeze((indices, weights, latency))
             self._pairs[(src, dst)] = entry
             self._row_of[src * self.topology.num_devices + dst] = len(
                 self._row_indices
@@ -140,10 +143,14 @@ class _RouteCache:
         entry = self._migration_pairs.get((src, dst))
         if entry is None:
             path = self.topology.route(src, dst)
-            entry = (
-                np.array([link.bandwidth for link in path]),
-                np.array([link.latency for link in path]),
-                np.array([self.index[link.key] for link in path], dtype=np.intp),
+            entry = sanitize.freeze(
+                (
+                    np.array([link.bandwidth for link in path]),
+                    np.array([link.latency for link in path]),
+                    np.array(
+                        [self.index[link.key] for link in path], dtype=np.intp
+                    ),
+                )
             )
             self._migration_pairs[(src, dst)] = entry
         bandwidths, latencies, positions = entry

@@ -12,6 +12,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro import sanitize
 from repro.workload.scenarios import ScenarioProfile
 
 
@@ -69,14 +70,16 @@ class ScenarioMixer(ABC):
             num_experts,
         ):
             return cached
-        tensor = np.stack(
-            [
+        tensor = sanitize.freeze(
+            np.stack(
                 [
-                    scenario.popularity(num_experts, layer)
-                    for scenario in self.scenarios
+                    [
+                        scenario.popularity(num_experts, layer)
+                        for scenario in self.scenarios
+                    ]
+                    for layer in range(num_layers)
                 ]
-                for layer in range(num_layers)
-            ]
+            )
         )
         self._profile_cache = tensor
         return tensor
@@ -100,7 +103,8 @@ class ConstantMixer(ScenarioMixer):
         weights = np.asarray(fixed_weights, dtype=float)
         if (weights < 0).any() or weights.sum() <= 0:
             raise ValueError("weights must be nonnegative and sum to > 0")
-        self._weights = weights / weights.sum()
+        # Handed out by every weights() call — freeze under the sanitizer.
+        self._weights = sanitize.freeze(weights / weights.sum())
 
     def weights(self, iteration: int) -> np.ndarray:
         return self._weights

@@ -8,9 +8,47 @@ of domain experts reported in Sec. V-B).
 """
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
+
+from repro.memo import instance_memo
+
+# xxHash-style mixing constants — the same lane constants CPython's tuple
+# hash has used since 3.8 (Objects/tupleobject.c), written out so the mix
+# is a contract of *this file*, not of the interpreter.
+_MIX_PRIME_1 = 11400714785074694791
+_MIX_PRIME_2 = 14029467366897019727
+_MIX_PRIME_5 = 2870177450012600261
+_MIX_MASK = (1 << 64) - 1
+
+
+def stable_seed_mix(*parts: int) -> int:
+    """Explicit 32-bit seed mix over small non-negative integer lanes.
+
+    Replaces the old ``hash((profile.seed, layer)) % 2**32`` derivation.
+    Builtin ``hash()`` is banned in seed derivation (repro-lint RL004):
+    its stability across processes is an accident of the argument types —
+    int and tuple-of-int hashes happen to ignore ``PYTHONHASHSEED``, but
+    one str lane would silently randomize every stream per process.  This
+    function writes the identical xxHash tuple mix out explicitly, so the
+    derived RNG streams — and every artifact downstream of a
+    :class:`ScenarioProfile` — are bit-identical to what ``hash()``
+    produced, pinned by literal values in ``tests/workload/test_scenarios``
+    rather than by interpreter internals.
+    """
+    acc = _MIX_PRIME_5
+    for part in parts:
+        if not 0 <= part < (1 << 61) - 1:
+            raise ValueError(
+                f"seed mix lanes must be ints in [0, 2**61 - 1), got {part!r}"
+            )
+        acc = (acc + part * _MIX_PRIME_2) & _MIX_MASK
+        acc = ((acc << 31) | (acc >> 33)) & _MIX_MASK
+        acc = (acc * _MIX_PRIME_1) & _MIX_MASK
+    acc = (acc + (len(parts) ^ (_MIX_PRIME_5 ^ 3527539))) & _MIX_MASK
+    if acc == _MIX_MASK:
+        acc = 1546275796
+    return acc % (1 << 32)
 
 
 @dataclass(frozen=True)
@@ -45,30 +83,29 @@ class ScenarioProfile:
 
         Deterministic per (profile, num_experts, layer), so the result is
         memoized — serving loops query every layer's profile each
-        iteration.  The returned array is read-only; copy before mutating.
+        iteration.  The memo lives on the instance (:mod:`repro.memo`): a
+        module-level ``lru_cache`` keyed by the profile would pin every
+        profile ever queried alive for the process lifetime.  The returned
+        array is read-only; copy before mutating.
         """
         if num_experts <= 0:
             raise ValueError(f"num_experts must be positive, got {num_experts}")
-        return _cached_popularity(self, num_experts, layer)
+        return self._popularity(num_experts, layer)
 
+    @instance_memo("_popularity_memo")
+    def _popularity(self, num_experts: int, layer: int) -> np.ndarray:
+        rng = np.random.default_rng(stable_seed_mix(self.seed, layer))
+        ranks = rng.permutation(num_experts) + 1
+        base = ranks.astype(float) ** (-self.zipf_alpha)
+        base /= base.sum()
 
-@lru_cache(maxsize=None)
-def _cached_popularity(
-    profile: ScenarioProfile, num_experts: int, layer: int
-) -> np.ndarray:
-    rng = np.random.default_rng(hash((profile.seed, layer)) % 2**32)
-    ranks = rng.permutation(num_experts) + 1
-    base = ranks.astype(float) ** (-profile.zipf_alpha)
-    base /= base.sum()
-
-    num_domain = max(1, int(round(profile.domain_fraction * num_experts)))
-    domain_experts = rng.choice(num_experts, size=num_domain, replace=False)
-    boost = np.zeros(num_experts)
-    boost[domain_experts] = 1.0 / num_domain
-
-    result = (1.0 - profile.domain_boost) * base + profile.domain_boost * boost
-    result.flags.writeable = False
-    return result
+        num_domain = max(1, int(round(self.domain_fraction * num_experts)))
+        domain_experts = rng.choice(num_experts, size=num_domain, replace=False)
+        boost = np.zeros(num_experts)
+        boost[domain_experts] = 1.0 / num_domain
+        result = (1.0 - self.domain_boost) * base + self.domain_boost * boost
+        result.flags.writeable = False
+        return result
 
 
 CHAT = ScenarioProfile(name="Chat", seed=101, zipf_alpha=0.6, domain_boost=0.30)

@@ -1,0 +1,45 @@
+"""The tree itself must stay lint-clean — the empty-baseline contract.
+
+CI runs ``python -m repro.analysis lint src tests``; this test holds the
+same invariant from inside the suite, so a violation fails locally before
+it ever reaches the lint job.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def repo_dirs():
+    src = REPO_ROOT / "src"
+    tests = REPO_ROOT / "tests"
+    if not (src / "repro").is_dir() or not tests.is_dir():
+        pytest.skip("not running from a source checkout")
+    return src, tests
+
+
+def test_tree_is_lint_clean(repo_dirs):
+    src, tests = repo_dirs
+    violations = lint_paths([src, tests], project_rules=False)
+    assert violations == [], "\n" + "\n".join(v.format() for v in violations)
+
+
+def test_project_rules_hold(repo_dirs):
+    """RL005 (config coverage) + RL006 (spec-version drift) on the real tree."""
+    src, tests = repo_dirs
+    from repro.analysis.lint import check_config_coverage, check_spec_versions
+
+    coverage = check_config_coverage(
+        src / "repro" / "engine" / "serving.py", tests
+    )
+    assert coverage == [], "\n" + "\n".join(v.format() for v in coverage)
+
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    if (results_dir / "cache").is_dir():
+        drift = check_spec_versions(results_dir)
+        assert drift == [], "\n" + "\n".join(v.format() for v in drift)

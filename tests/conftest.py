@@ -2,7 +2,16 @@
 
 import pytest
 
+from repro import sanitize
 from repro.network import clear_plan_caches
+
+# Run the whole suite with the cache-aliasing sanitizer on: arrays handed
+# out by caching layers (plan caches, route caches, instance memos, mixer
+# tensors) become read-only, so any in-place mutation of shared cached
+# state fails loudly here instead of corrupting a later query.  Enabling
+# the sanitizer never changes computed values — it only flips writeable
+# flags — so the suite exercises exactly the shipped numerics.
+sanitize.enable()
 
 
 @pytest.fixture(autouse=True)

@@ -146,3 +146,33 @@ class TestEffectiveBandwidth:
         health.degrade_link(*cache.keys[2], 0.25)
         second = cache.effective_bandwidth()
         assert second is not first
+
+    def test_version_bump_invalidates_after_restore_cycle(self, topology):
+        # Full cycle: degrade → recompute, idempotent re-degrade → cached,
+        # restore → pristine array again, re-degrade → fresh recompute.
+        # Each hand-out tracks health.version exactly.
+        cache = _route_cache(topology)
+        health = topology_health(topology, create=True)
+        key = cache.keys[1]
+        health.degrade_link(*key, 0.5)
+        degraded = cache.effective_bandwidth()
+        health.degrade_link(*key, 0.5)  # idempotent: version unchanged
+        assert cache.effective_bandwidth() is degraded
+        health.restore_link(*key)
+        assert cache.effective_bandwidth() is cache.bandwidth
+        health.degrade_link(*key, 0.25)
+        recomputed = cache.effective_bandwidth()
+        assert recomputed is not degraded
+        assert recomputed[1] == pytest.approx(0.25 * cache.bandwidth[1])
+
+    def test_cached_bandwidth_arrays_are_sanitizer_frozen(self, topology):
+        # Both the nominal and the degraded arrays are cache-resident and
+        # handed to every caller — under REPRO_SANITIZE they are read-only.
+        cache = _route_cache(topology)
+        with pytest.raises(ValueError):
+            cache.bandwidth[0] = 1e9
+        health = topology_health(topology, create=True)
+        health.degrade_link(*cache.keys[0], 0.5)
+        effective = cache.effective_bandwidth()
+        with pytest.raises(ValueError):
+            effective[0] = 1e9
