@@ -1,0 +1,49 @@
+"""Request-level SLO benchmark (open-loop serving front end).
+
+Thin wrapper over the uncacheable ``slo_serving`` spec in
+``repro.experiments.figures.slo_serving``: the 64-device 8x8 wafer
+serving seeded open-loop traffic (steady Poisson, diurnal overload,
+MMPP flash crowds, and a straggler-faulted run that must blacklist and
+reinstate a backend) through the continuous-batching front end, with
+TTFT/TPOT percentiles and goodput per config.  Run standalone with
+``python -m repro.experiments run slo_serving``, or directly —
+
+    python benchmarks/bench_slo_serving.py --requests 96
+
+— to sweep other request counts without editing the spec
+(``--requests`` seeds ``REPRO_SLO_BENCH_REQUESTS`` before the spec
+module loads; reduced runs emit ``BENCH_slo.smoke.json``, only the
+full-length grid updates the tracked ``BENCH_slo.json``).
+"""
+
+from helpers import run_and_emit
+
+
+def test_slo_serving(benchmark):
+    run_and_emit(benchmark, "slo_serving")
+
+
+def main() -> None:
+    import argparse
+    import os
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        help="open-loop requests per config (default: the spec's 256)",
+    )
+    args = parser.parse_args()
+    # The spec reads its grid from the environment at import time, so the
+    # override must land before repro.experiments pulls it in.
+    if args.requests:
+        os.environ["REPRO_SLO_BENCH_REQUESTS"] = str(args.requests)
+
+    from repro.experiments import Runner, get_spec
+
+    text = Runner(jobs=1, use_cache=False).run_text(get_spec("slo_serving"))
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

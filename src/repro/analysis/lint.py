@@ -90,12 +90,12 @@ RULES: dict[str, str] = {
     "RL002": "RNG must take an explicit seed; legacy np.random.* API banned",
     "RL003": "wall-clock read inside a simulation package",
     "RL004": "builtin hash() in seed/key derivation (PYTHONHASHSEED footgun)",
-    "RL005": "ServingConfig field not referenced by any test",
+    "RL005": "serving config field not referenced by any test",
     "RL006": "figure-spec version= drifted from tracked result artifacts",
 }
 
 #: packages whose simulated time must never read the host clock.
-SIM_PACKAGES = ("engine", "network", "workload", "mapping", "faults")
+SIM_PACKAGES = ("engine", "network", "workload", "mapping", "faults", "serving")
 
 _CACHE_DECORATORS = {"functools.lru_cache", "functools.cache"}
 
@@ -519,7 +519,12 @@ def lint_paths(
         if path.name == "tests" and path.is_dir():
             tests_root = path
     if config_path is not None and tests_root is not None:
-        violations.extend(check_config_coverage(config_path, tests_root))
+        # The grouped serving surface: the top-level config plus both
+        # sub-configs — every flag still guards a pinned oracle.
+        for class_name in ("ServingConfig", "BalancingConfig", "PricingConfig"):
+            violations.extend(
+                check_config_coverage(config_path, tests_root, class_name)
+            )
     if registry_root is not None:
         results_dir = registry_root.parent / "benchmarks" / "results"
         if (results_dir / "cache").is_dir():

@@ -16,12 +16,18 @@ from repro.engine.iteration import (
     pipelined_time,
 )
 from repro.engine.serving import (
+    BalancingConfig,
     IterationRecord,
+    PricingConfig,
     ServingConfig,
     ServingSimulator,
     ServingTrace,
 )
 
+#: The supported engine surface (see ``docs/api.md``): the roofline
+#: compute model, the single-iteration simulator, and the serving loop
+#: with its grouped configuration.  Module internals (pricing caches,
+#: migration bookkeeping) are not part of the contract.
 __all__ = [
     "ComputeModel",
     "RooflineTimes",
@@ -30,6 +36,8 @@ __all__ = [
     "IterationSimulator",
     "pipelined_time",
     "ServingConfig",
+    "BalancingConfig",
+    "PricingConfig",
     "ServingSimulator",
     "ServingTrace",
     "IterationRecord",

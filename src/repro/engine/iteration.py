@@ -130,9 +130,16 @@ class IterationSimulator:
         #: Treat cached results as frozen; don't mutate their link_bytes.
         self._allreduce_cache: dict[tuple[float, int], CollectiveResult] = {}
 
-    def allreduce_volume(self) -> float:
-        """Bytes all-reduced per TP group: the group's token activations."""
-        return self.config.tokens_per_group * self.model.token_bytes
+    def allreduce_volume(self, tokens_per_group: int | None = None) -> float:
+        """Bytes all-reduced per TP group: the group's token activations.
+
+        ``tokens_per_group`` overrides the engine config's fixed batch for
+        one call — the serving front end prices each iteration at the
+        continuous-batching batch size actually in flight.
+        """
+        if tokens_per_group is None:
+            tokens_per_group = self.config.tokens_per_group
+        return tokens_per_group * self.model.token_bytes
 
     def simulate_allreduce(self, volume_per_group: float) -> CollectiveResult:
         """The mapping's all-reduce for this volume, cached per simulator."""
@@ -149,6 +156,7 @@ class IterationSimulator:
         placement: ExpertPlacement,
         migration_exposed: float = 0.0,
         device_scale: np.ndarray | None = None,
+        tokens_per_group: int | None = None,
     ) -> LayerSimulation:
         """Simulate one sparse layer.
 
@@ -159,6 +167,10 @@ class IterationSimulator:
                 layer's critical path.
             device_scale: optional per-device compute slowdown multipliers
                 (straggler injection) applied to the MoE roofline.
+            tokens_per_group: per-group batch size for this iteration
+                (attention tokens + all-reduce volume); ``None`` keeps the
+                engine config's fixed batch, bit-identically.  The MoE and
+                all-to-all sides already scale through ``counts``.
         """
         counts = np.asarray(counts, dtype=float)
         if counts.shape != (self.mapping.dp, self.model.num_experts):
@@ -167,14 +179,18 @@ class IterationSimulator:
                 f"({self.mapping.dp}, {self.model.num_experts})"
             )
         config = self.config
+        if tokens_per_group is None:
+            tokens_per_group = config.tokens_per_group
+        elif tokens_per_group <= 0:
+            raise ValueError("tokens_per_group must be positive")
 
         attention = self.compute.attention_time(
-            tokens=config.tokens_per_group,
+            tokens=tokens_per_group,
             context_len=config.context_len,
             tp=self.mapping.tp,
             decode=config.decode,
         )
-        allreduce = self.simulate_allreduce(self.allreduce_volume())
+        allreduce = self.simulate_allreduce(self.allreduce_volume(tokens_per_group))
 
         demand = counts * self.model.token_bytes
         alltoall = simulate_alltoall(

@@ -74,11 +74,10 @@ from repro.workload.gating import GatingSimulator
 
 
 @dataclass(frozen=True)
-class ServingConfig:
-    """Serving-loop and Eq. 2 trigger parameters.
+class BalancingConfig:
+    """Eq. 2 trigger and migration-execution parameters.
 
     Attributes:
-        num_iterations: iterations to simulate.
         alpha: Eq. 2 threshold on the imbalance degree summed over layers.
         beta_iters: minimum iterations between invasive migrations (Eq. 2's
             delta-t constraint; non-invasive balancers use beta = 0).
@@ -88,6 +87,26 @@ class ServingConfig:
         migration_side_channel: hide migration behind a dedicated channel
             (the NVMe path GPU systems use, paper reference [3]) — exposed
             latency becomes zero even for invasive balancers.
+    """
+
+    alpha: float = 0.5
+    beta_iters: int = 10
+    warmup_iters: int = 5
+    shadow_slots: int = 1
+    migration_side_channel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta_iters < 0 or self.warmup_iters < 0:
+            raise ValueError("alpha/beta_iters/warmup_iters must be >= 0")
+        if self.shadow_slots < 0:
+            raise ValueError("shadow_slots must be >= 0")
+
+
+@dataclass(frozen=True)
+class PricingConfig:
+    """Communication-pricing mode selection.
+
+    Attributes:
         per_layer_alltoall: price each layer's all-to-all against its own
             placement once migrations make layers diverge (layers whose
             placement content still matches layer 0 reuse its exactly
@@ -126,36 +145,155 @@ class ServingConfig:
             agree to ~1e-12 relative (summation-order rounding only).
     """
 
-    num_iterations: int = 150
-    alpha: float = 0.5
-    beta_iters: int = 10
-    warmup_iters: int = 5
-    shadow_slots: int = 1
-    migration_side_channel: bool = False
     per_layer_alltoall: bool = True
     per_layer_demand: bool = True
     record_broadcast_price: bool = False
     sparse_pricing: bool | None = None
 
     def __post_init__(self) -> None:
-        if self.num_iterations <= 0:
-            raise ValueError("num_iterations must be positive")
-        if self.alpha < 0 or self.beta_iters < 0 or self.warmup_iters < 0:
-            raise ValueError("alpha/beta_iters/warmup_iters must be >= 0")
-        if self.shadow_slots < 0:
-            raise ValueError("shadow_slots must be >= 0")
         if self.per_layer_demand and not self.per_layer_alltoall:
             # Resolved demand only reaches the pricer through the
             # per-layer plan, so with broadcast pricing the flag is
             # silently inert — almost always a configuration mistake
             # (per_layer_demand defaults to True).
             warnings.warn(
-                "ServingConfig(per_layer_demand=True) is inert with "
+                "PricingConfig(per_layer_demand=True) is inert with "
                 "per_layer_alltoall=False — pass per_layer_demand=False "
                 "explicitly alongside it",
                 UserWarning,
                 stacklevel=2,
             )
+
+
+#: Flat pre-grouping ServingConfig kwarg names and the sub-config that
+#: owns each today — the forwarding table behind the deprecated flat
+#: constructor path and :meth:`ServingConfig.from_flat`.
+_BALANCING_FIELDS = (
+    "alpha",
+    "beta_iters",
+    "warmup_iters",
+    "shadow_slots",
+    "migration_side_channel",
+)
+_PRICING_FIELDS = (
+    "per_layer_alltoall",
+    "per_layer_demand",
+    "record_broadcast_price",
+    "sparse_pricing",
+)
+
+
+def _apply_flat_kwargs(
+    balancing: BalancingConfig, pricing: PricingConfig, flat: dict
+) -> tuple[BalancingConfig, PricingConfig]:
+    """Forward flat legacy kwargs onto the sub-config that owns each."""
+    unknown = [
+        name
+        for name in flat
+        if name not in _BALANCING_FIELDS and name not in _PRICING_FIELDS
+    ]
+    if unknown:
+        raise TypeError(
+            "ServingConfig got unexpected keyword argument(s): "
+            + ", ".join(sorted(unknown))
+        )
+    balancing_over = {k: v for k, v in flat.items() if k in _BALANCING_FIELDS}
+    pricing_over = {k: v for k, v in flat.items() if k in _PRICING_FIELDS}
+    if balancing_over:
+        balancing = replace(balancing, **balancing_over)
+    if pricing_over:
+        pricing = replace(pricing, **pricing_over)
+    return balancing, pricing
+
+
+@dataclass(frozen=True, init=False)
+class ServingConfig:
+    """Serving-loop parameters, grouped by concern.
+
+    Attributes:
+        num_iterations: iterations to simulate.
+        balancing: Eq. 2 trigger and migration-execution knobs
+            (:class:`BalancingConfig`).
+        pricing: communication-pricing mode selection
+            (:class:`PricingConfig`).
+
+    The pre-grouping flat constructor kwargs (``alpha=...``,
+    ``per_layer_demand=...``) are still accepted and forwarded onto the
+    matching sub-config behind a :class:`DeprecationWarning`; the flat
+    attribute names keep working silently as read-only aliases
+    (``config.alpha`` == ``config.balancing.alpha``).  New code should
+    construct the sub-configs directly, or use :meth:`from_flat` when
+    starting from a flat kwarg dict.
+    """
+
+    num_iterations: int
+    balancing: BalancingConfig
+    pricing: PricingConfig
+
+    def __init__(
+        self,
+        num_iterations: int = 150,
+        balancing: BalancingConfig | None = None,
+        pricing: PricingConfig | None = None,
+        **legacy,
+    ) -> None:
+        balancing = balancing if balancing is not None else BalancingConfig()
+        pricing = pricing if pricing is not None else PricingConfig()
+        if legacy:
+            balancing, pricing = _apply_flat_kwargs(balancing, pricing, legacy)
+            warnings.warn(
+                "flat ServingConfig kwargs ("
+                + ", ".join(sorted(legacy))
+                + ") are deprecated; pass balancing=BalancingConfig(...) / "
+                "pricing=PricingConfig(...), or build from a flat dict with "
+                "ServingConfig.from_flat(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        object.__setattr__(self, "num_iterations", num_iterations)
+        object.__setattr__(self, "balancing", balancing)
+        object.__setattr__(self, "pricing", pricing)
+
+    @classmethod
+    def from_flat(
+        cls,
+        num_iterations: int = 150,
+        balancing: BalancingConfig | None = None,
+        pricing: PricingConfig | None = None,
+        **flat,
+    ) -> "ServingConfig":
+        """Build a grouped config from flat kwargs, without the warning.
+
+        The supported bridge for callers that carry serving knobs around
+        as a flat kwarg dict (test parametrization, sweep drivers): flat
+        names are forwarded onto the sub-config that owns them, applied
+        over ``balancing=`` / ``pricing=`` when those are also given.
+        """
+        balancing = balancing if balancing is not None else BalancingConfig()
+        pricing = pricing if pricing is not None else PricingConfig()
+        balancing, pricing = _apply_flat_kwargs(balancing, pricing, flat)
+        return cls(
+            num_iterations=num_iterations, balancing=balancing, pricing=pricing
+        )
+
+
+def _flat_alias(group: str, name: str) -> property:
+    return property(
+        lambda self: getattr(getattr(self, group), name),
+        doc=f"Read-only alias for ``{group}.{name}`` (pre-grouping name).",
+    )
+
+
+# Reads through the old flat names stay silent — only the construction
+# path warns — so downstream code that merely *inspects* a config keeps
+# working without churn while writers migrate to the grouped kwargs.
+for _name in _BALANCING_FIELDS:
+    setattr(ServingConfig, _name, _flat_alias("balancing", _name))
+for _name in _PRICING_FIELDS:
+    setattr(ServingConfig, _name, _flat_alias("pricing", _name))
+del _name
 
 
 @dataclass
@@ -361,10 +499,10 @@ class ServingSimulator:
         #: Resolved pricing mode — the config's explicit choice, or the
         #: operator-footprint auto rule (stable for the run: it depends
         #: only on the immutable mapping).
-        if self.serving_config.sparse_pricing is None:
+        if self.serving_config.pricing.sparse_pricing is None:
             self.sparse_pricing = prefer_sparse_pricing(mapping)
         else:
-            self.sparse_pricing = self.serving_config.sparse_pricing
+            self.sparse_pricing = self.serving_config.pricing.sparse_pricing
 
         num_devices = mapping.topology.num_devices
         if stacked is None:
@@ -382,7 +520,7 @@ class ServingSimulator:
                 self.num_layers,
                 model.num_experts,
                 num_devices,
-                shadow_slots=self.serving_config.shadow_slots,
+                shadow_slots=self.serving_config.balancing.shadow_slots,
             )
             self.engine = STACKED_BALANCERS[balancer_cls](
                 placement,
@@ -395,7 +533,7 @@ class ServingSimulator:
                 placement = ExpertPlacement(
                     model.num_experts,
                     num_devices,
-                    shadow_slots=self.serving_config.shadow_slots,
+                    shadow_slots=self.serving_config.balancing.shadow_slots,
                 )
                 self.balancers.append(
                     balancer_cls(
@@ -517,19 +655,56 @@ class ServingSimulator:
     def run(self) -> ServingTrace:
         trace = ServingTrace(num_sparse_layers=self.model.num_sparse_layers)
         for _ in range(self.serving_config.num_iterations):
-            trace.records.append(self._step())
+            trace.records.append(self.step())
         return trace
+
+    # -- fault-health introspection ------------------------------------------------
+
+    def dead_devices(self) -> frozenset[int]:
+        """Devices lost to fail-stop failures so far (never revived)."""
+        return frozenset(self._dead)
+
+    def straggling_devices(self) -> frozenset[int]:
+        """Devices inside an active straggler window right now.
+
+        Unlike :meth:`dead_devices` this set shrinks again when windows
+        expire — the signal the serving front end's dispatcher uses to
+        blacklist a replica group temporarily and reinstate it afterwards.
+        """
+        return frozenset(
+            straggler.device for straggler in self._active_stragglers
+        )
+
+    def group_health(self) -> list[bool]:
+        """Per-DP-group health flag, index-aligned with ``mapping.tp_groups``.
+
+        A group is healthy while none of its members has failed; straggler
+        windows degrade but do not kill a group.
+        """
+        return [
+            all(member not in self._dead for member in group)
+            for group in self.mapping.tp_groups
+        ]
 
     @property
     def _demand_resolved(self) -> bool:
         """Whether this run resolves per-layer group demand for pricing."""
         return (
-            self.serving_config.per_layer_demand
-            and self.serving_config.per_layer_alltoall
+            self.serving_config.pricing.per_layer_demand
+            and self.serving_config.pricing.per_layer_alltoall
             and self.num_layers > 1
         )
 
-    def _step(self) -> IterationRecord:
+    def step(self, tokens_per_group: int | None = None) -> IterationRecord:
+        """Advance one serving iteration and return its record.
+
+        ``tokens_per_group`` sets this iteration's per-group batch size —
+        the continuous-batching front end passes the tokens of the
+        requests actually in flight, so attention time, all-reduce volume
+        and gating demand all scale with occupancy.  ``None`` (the
+        closed-loop default, what :meth:`run` uses) keeps the workload's
+        fixed batch and replays the pinned traces bit-identically.
+        """
         iteration = self.workload.iteration
         counts = None
         if self._demand_resolved:
@@ -537,14 +712,18 @@ class ServingSimulator:
             # layers split from their exact totals (flat selection-slot
             # model) so per-layer demand skew reaches the pricer.
             counts, layer_loads = self.workload.next_group_counts(
-                return_loads=True, out=self._counts_buffer
+                return_loads=True,
+                out=self._counts_buffer,
+                tokens_per_group=tokens_per_group,
             )
             self._counts_buffer = counts
             counts0 = counts[0]
         else:
             # Group-resolved counts only for layer 0 (the one whose
             # all-to-all is simulated); per-expert totals for every layer.
-            counts0, layer_loads = self.workload.next_loads()
+            counts0, layer_loads = self.workload.next_loads(
+                tokens_per_group=tokens_per_group
+            )
 
         if self.stacked:
             self.engine.observe(layer_loads)
@@ -570,7 +749,10 @@ class ServingSimulator:
         # diverged content group is priced against its own destination
         # shares through the layer-batched dispatch plan.
         sim = self.simulator.simulate_layer(
-            counts0, self.layer_placement(0), device_scale=self._device_scale
+            counts0,
+            self.layer_placement(0),
+            device_scale=self._device_scale,
+            tokens_per_group=tokens_per_group,
         )
         breakdown = sim.breakdown
         if self._attention_scale != 1.0:
@@ -589,7 +771,7 @@ class ServingSimulator:
 
         a2a_layers = None
         a2a_broadcast_layers = None
-        if self.serving_config.per_layer_alltoall and self.num_layers > 1:
+        if self.serving_config.pricing.per_layer_alltoall and self.num_layers > 1:
             plan = layered_dispatch_plan(
                 self.mapping,
                 self._plan_anchor(),
@@ -611,7 +793,7 @@ class ServingSimulator:
                     demand_stack, breakdown.alltoall
                 )
                 if (
-                    self.serving_config.record_broadcast_price
+                    self.serving_config.pricing.record_broadcast_price
                     and not plan.uniform
                 ):
                     a2a_broadcast_layers = plan.alltoall_durations(
@@ -671,7 +853,7 @@ class ServingSimulator:
             a2a_broadcast = a2a_mean
         elif a2a_broadcast_layers is not None:
             a2a_broadcast = float(np.mean(a2a_broadcast_layers))
-        elif self.serving_config.record_broadcast_price:
+        elif self.serving_config.pricing.record_broadcast_price:
             # The companion broadcast price reduces to layer 0's exact
             # price while the placement stack is still uniform.
             a2a_broadcast = breakdown.alltoall
@@ -848,7 +1030,7 @@ class ServingSimulator:
                 self.balancers[layer].commit(migration)
 
     def _maybe_rebalance(self, iteration: int) -> tuple[float, int]:
-        config = self.serving_config
+        config = self.serving_config.balancing
         if iteration < config.warmup_iters:
             return 0.0, 0
         if self.stacked:

@@ -18,6 +18,7 @@ from repro.experiments.figures import (  # noqa: F401
     fault_tolerance,
     sampling_speed,
     serving_speed,
+    slo_serving,
     smoke,
     table1,
 )

@@ -35,7 +35,12 @@ import os
 from dataclasses import replace
 
 from repro.analysis.report import format_table
-from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.engine import (
+    BalancingConfig,
+    EngineConfig,
+    ServingConfig,
+    ServingSimulator,
+)
 from repro.experiments.common import emit_json
 from repro.experiments.figures.shared import STRATEGIES, strategy_class, strategy_label
 from repro.experiments.registry import register
@@ -192,7 +197,7 @@ def run_point(params: dict) -> dict:
         engine_config=EngineConfig(tokens_per_group=128),
         serving_config=ServingConfig(
             num_iterations=case["iterations"],
-            shadow_slots=case["shadow_slots"],
+            balancing=BalancingConfig(shadow_slots=case["shadow_slots"]),
         ),
         fault_schedule=_schedule(case),
     )

@@ -53,7 +53,12 @@ import time
 from dataclasses import replace
 
 from repro.analysis.report import format_table
-from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.engine import (
+    EngineConfig,
+    PricingConfig,
+    ServingConfig,
+    ServingSimulator,
+)
 from repro.experiments.common import emit_json
 from repro.experiments.figures.shared import strategy_class, strategy_label
 from repro.experiments.registry import register
@@ -190,9 +195,11 @@ def run_point(params: dict) -> dict:
         engine_config=EngineConfig(tokens_per_group=128),
         serving_config=ServingConfig(
             num_iterations=case["iterations"],
-            per_layer_alltoall=per_layer,
-            per_layer_demand=case["demand"] == "resolved",
-            sparse_pricing=sparse,
+            pricing=PricingConfig(
+                per_layer_alltoall=per_layer,
+                per_layer_demand=case["demand"] == "resolved",
+                sparse_pricing=sparse,
+            ),
         ),
     )
     from repro.network.alltoall import (

@@ -1,0 +1,281 @@
+"""Request-level SLO benchmark: open-loop serving on the 8x8 wafer.
+
+Runs the :class:`~repro.serving.ServingFrontend` — open-loop arrivals,
+continuous batching, admission control, replica dispatch — against the
+64-device 8x8 wafer (64-expert Qwen3 variant at 4 simulated layers,
+16 DP-group backends) and reports the operator-facing SLO metrics the
+closed-loop iteration benchmarks cannot see: TTFT/TPOT percentiles,
+goodput under a TTFT deadline, and shed (rejected) request counts.
+
+Four workload configs, all seeded and fully deterministic:
+
+* ``poisson_reference`` — steady Poisson traffic well inside capacity;
+  the CI perf gate budgets its p99 TTFT
+  (``tools/ci/check_serving_smoke.py --expect-slo ... --max-p99-ttft``).
+* ``poisson_diurnal_overload`` — diurnally modulated traffic whose peak
+  exceeds capacity: admission control must shed, and goodput shows what
+  shedding buys the admitted tail.
+* ``mmpp_bursty`` — Markov-modulated flash crowds (calm/burst states);
+  stresses the queue and the deadline shed.
+* ``straggler_fault`` — reference-rate traffic with a straggler window
+  on one device: the dispatcher must blacklist the slowed backend and
+  reinstate it when the window expires (the CI gate requires both
+  events in the record — blacklist-driven recovery, not just survival).
+
+The machine-readable record lands in ``benchmarks/results/BENCH_slo.json``
+(tracked; a full-length run is bit-reproducible) or
+``BENCH_slo.smoke.json`` for reduced runs.  ``REPRO_SLO_BENCH_REQUESTS``
+shrinks the per-config request count for CI smoke.
+"""
+
+import math
+import os
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.balancer import NonInvasiveBalancer
+from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.experiments.common import emit_json
+from repro.experiments.registry import register
+from repro.experiments.spec import ExperimentSpec
+from repro.faults import FaultSchedule, Straggler
+from repro.models import QWEN3_235B
+from repro.serving import FrontendConfig, ServingFrontend
+from repro.systems import build_wsc
+from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
+from repro.workload.arrivals import MMPPArrivals, PoissonArrivals
+
+FULL_REQUESTS = 256
+NUM_REQUESTS = int(os.environ.get("REPRO_SLO_BENCH_REQUESTS", str(FULL_REQUESTS)))
+#: Simulated depth: the front end stresses batching and dispatch, not
+#: depth scaling (matches the fault_tolerance spec).
+NUM_LAYERS = 4
+#: TTFT SLO used for deadline shedding and goodput accounting.
+TTFT_DEADLINE_S = 0.05
+
+BENCH_JSON = "BENCH_slo.json"
+BENCH_SMOKE_JSON = "BENCH_slo.smoke.json"
+
+#: Reference arrival rate (req/s) — comfortably inside the wafer's
+#: ~2000 req/s service capacity; the CI gate pins this value
+#: (``--expect-arrival-rate``) so the budgeted p99 is always measured at
+#: the same operating point.
+REFERENCE_RATE = 500.0
+
+#: name -> arrival process + fault parameters.  Seeds are fixed; the
+#: full-length record is bit-reproducible.
+CONFIGS = {
+    "poisson_reference": {
+        "process": "poisson",
+        "arrival_rate": REFERENCE_RATE,
+        "fault": False,
+    },
+    "poisson_diurnal_overload": {
+        "process": "poisson",
+        "arrival_rate": 4000.0,
+        "diurnal_depth": 0.5,
+        "diurnal_period_s": 0.1,
+        "fault": False,
+    },
+    "mmpp_bursty": {
+        "process": "mmpp",
+        #: Calm/burst state rates; arrival_rate is the long-run mean.
+        "rates": (300.0, 6000.0),
+        "mean_sojourn_s": 0.05,
+        "arrival_rate": 3150.0,
+        "fault": False,
+    },
+    "straggler_fault": {
+        "process": "poisson",
+        "arrival_rate": REFERENCE_RATE,
+        "fault": True,
+        #: Interior tile (row 3, column 3) slows 4x for 40 iterations —
+        #: long enough to force a blacklist, early and short enough that
+        #: even the reduced CI smoke run (96 requests, ~80 iterations)
+        #: sees the window expire and the backend reinstated.
+        "straggler_device": 27,
+        "straggler_iteration": 16,
+        "straggler_factor": 4.0,
+        "straggler_duration": 40,
+    },
+}
+
+
+def _case(name: str, num_requests: int) -> dict:
+    return {"name": name, "num_requests": num_requests, **CONFIGS[name]}
+
+
+CASES = [_case(name, NUM_REQUESTS) for name in CONFIGS]
+#: The canonical full-length grid — only a run matching it exactly
+#: updates the tracked record.
+FULL_CASES = [_case(name, FULL_REQUESTS) for name in CONFIGS]
+
+ARRIVAL_SEED = 11
+SHAPE_SEED = 5
+
+
+def _arrivals(case: dict):
+    if case["process"] == "mmpp":
+        return MMPPArrivals(
+            rates=case["rates"],
+            mean_sojourn_s=case["mean_sojourn_s"],
+            seed=ARRIVAL_SEED,
+        )
+    return PoissonArrivals(
+        rate=case["arrival_rate"],
+        seed=ARRIVAL_SEED,
+        diurnal_depth=case.get("diurnal_depth", 0.0),
+        diurnal_period_s=case.get("diurnal_period_s", 60.0),
+    )
+
+
+def _schedule(case: dict) -> FaultSchedule | None:
+    if not case["fault"]:
+        return None
+    return FaultSchedule(
+        [
+            Straggler(
+                iteration=case["straggler_iteration"],
+                device=case["straggler_device"],
+                factor=case["straggler_factor"],
+                duration=case["straggler_duration"],
+            )
+        ]
+    )
+
+
+def _finite(value: float) -> float | None:
+    return value if math.isfinite(value) else None
+
+
+def run_point(params: dict) -> dict:
+    case = params["case"]
+    model = replace(QWEN3_235B, name="qwen3-64e", num_experts=64)
+    system = build_wsc(model, side=8, tp=4, mapping="er")
+    workload = GatingSimulator(
+        model,
+        num_groups=system.mapping.dp,
+        tokens_per_group=64,
+        mixer=AzureLikeMixer([CHAT, CODING, MATH, PRIVACY], period_iters=60),
+        num_layers=NUM_LAYERS,
+        seed=41,
+    )
+    simulator = ServingSimulator(
+        system.device,
+        model,
+        system.mapping,
+        workload,
+        NonInvasiveBalancer,
+        engine_config=EngineConfig(tokens_per_group=64),
+        serving_config=ServingConfig(num_iterations=30),
+        fault_schedule=_schedule(case),
+    )
+    frontend = ServingFrontend(
+        simulator,
+        _arrivals(case),
+        FrontendConfig(
+            num_requests=case["num_requests"],
+            seed=SHAPE_SEED,
+            max_queue_requests=32,
+            max_requests_per_backend=4,
+            ttft_deadline_s=TTFT_DEADLINE_S,
+        ),
+    )
+    trace = frontend.run()
+    summary = trace.summary()
+    return {
+        **{
+            key: _finite(value) if isinstance(value, float) else value
+            for key, value in summary.to_dict().items()
+        },
+        "idle_s": trace.idle_s,
+        "iterations": len(trace.iteration_records),
+        "ttft_deadline_s": TTFT_DEADLINE_S,
+        "blacklist_events": trace.event_count("blacklist"),
+        "reinstate_events": trace.event_count("reinstate"),
+        "drop_events": trace.event_count("drop"),
+        "redispatches": sum(r.redispatches for r in trace.requests),
+    }
+
+
+def _case_key(case: dict) -> tuple:
+    return tuple(
+        sorted(
+            (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+            for k, v in case.items()
+        )
+    )
+
+
+def render(results) -> str:
+    full_run = {_case_key(result.params["case"]) for result in results} == {
+        _case_key(case) for case in FULL_CASES
+    }
+    emit_json(
+        BENCH_JSON if full_run else BENCH_SMOKE_JSON,
+        {
+            "benchmark": "slo_serving",
+            "configs": [
+                {
+                    "name": result.params["case"]["name"],
+                    "process": result.params["case"]["process"],
+                    "arrival_rate": result.params["case"]["arrival_rate"],
+                    "fault": result.params["case"]["fault"],
+                    "num_requests": result.params["case"]["num_requests"],
+                    **result.metrics,
+                }
+                for result in results
+            ],
+        },
+    )
+    rows = []
+    for result in results:
+        case = result.params["case"]
+        m = result.metrics
+        events = (
+            f"B{m['blacklist_events']}/R{m['reinstate_events']}"
+            f"/D{m['drop_events']}"
+        )
+        rows.append(
+            [
+                case["name"],
+                case["process"],
+                f"{case['arrival_rate']:.0f}",
+                m["completed"],
+                m["rejected"],
+                f"{m['ttft_p50_s'] * 1e3:.1f}" if m["ttft_p50_s"] else "n/a",
+                f"{m['ttft_p99_s'] * 1e3:.1f}" if m["ttft_p99_s"] else "n/a",
+                f"{m['tpot_p50_s'] * 1e3:.2f}" if m["tpot_p50_s"] else "n/a",
+                f"{m['goodput_rps']:.0f}" if m["goodput_rps"] else "n/a",
+                events,
+            ]
+        )
+    return format_table(
+        [
+            "Config",
+            "Process",
+            "Rate",
+            "Done",
+            "Shed",
+            "TTFT p50 ms",
+            "TTFT p99 ms",
+            "TPOT p50 ms",
+            "Goodput",
+            "Events",
+        ],
+        rows,
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="slo_serving",
+        figure="slo_serving",
+        description="Open-loop serving SLO metrics (TTFT/TPOT/goodput)",
+        grid={"case": CASES},
+        point=run_point,
+        render=render,
+        cacheable=False,
+    )
+)

@@ -1,0 +1,39 @@
+"""Request-level serving front end (open-loop arrivals, SLO metrics).
+
+Supported public surface of ``repro.serving`` — everything in
+``__all__`` is covered by tests and safe to build on:
+
+* :class:`ServingFrontend` / :class:`FrontendConfig` /
+  :class:`FrontendTrace` — the open-loop continuous-batching driver.
+* :class:`ReplicaDispatcher` / :class:`BackendState` — heap-based
+  replica dispatch with EMA service rates and fault blacklisting.
+* :class:`RequestTrace` — per-request lifecycle accounting.
+* :class:`SLOSummary` / :func:`summarize` / :func:`percentile` —
+  TTFT/TPOT/goodput roll-ups.
+
+``repro.engine`` never imports this package; the dependency points one
+way (front end drives engine), so the closed-loop simulator stands alone.
+"""
+
+from repro.serving.dispatcher import BackendState, ReplicaDispatcher
+from repro.serving.frontend import (
+    DispatchEvent,
+    FrontendConfig,
+    FrontendTrace,
+    ServingFrontend,
+)
+from repro.serving.metrics import SLOSummary, percentile, summarize
+from repro.serving.requests import RequestTrace
+
+__all__ = [
+    "BackendState",
+    "DispatchEvent",
+    "FrontendConfig",
+    "FrontendTrace",
+    "ReplicaDispatcher",
+    "RequestTrace",
+    "SLOSummary",
+    "ServingFrontend",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,152 @@
+"""SLO metric roll-ups over request traces.
+
+The quantile estimator is the linear-interpolation rule (numpy's default
+``np.percentile`` method, Hyndman & Fan type 7) implemented directly on a
+sorted Python list: the test suite holds it against an independent scalar
+oracle, and keeping the arithmetic explicit here means the tracked
+``BENCH_slo.json`` numbers never silently shift with a numpy default
+change.
+
+Definitions (all arrival-anchored, so queueing delay counts):
+
+* **TTFT** — ``first_token_s - arrival_s``; the user-visible latency to
+  the first output token.
+* **TPOT** — mean inter-token interval after the first token.
+* **goodput** — completed requests whose TTFT met the deadline, per
+  second of simulated time (every completion counts when no deadline is
+  configured).  Rejected and unfinished requests never count — shedding
+  load keeps the *served* tail fast precisely by sacrificing goodput.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.serving.requests import RequestTrace
+
+__all__ = ["SLOSummary", "percentile", "summarize"]
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation quantile of ``values`` at percentile ``q``.
+
+    Matches ``np.percentile(values, q)`` (the "linear" / type-7 rule):
+    with ``n`` sorted values the rank ``h = (n - 1) * q / 100`` is read
+    off by interpolating between the two straddling order statistics.
+    Returns NaN on an empty input (a run where nothing finished has no
+    tail latency, and NaN survives JSON round-trips as ``null``).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return ordered[0]
+    h = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(h)
+    high = math.ceil(h)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (h - low) * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class SLOSummary:
+    """Aggregate serving metrics for one front-end run.
+
+    Counts satisfy conservation: every arrived request is exactly one of
+    completed, rejected, or unfinished (still queued or in flight when the
+    run ended — 0 when the run drains).
+    """
+
+    arrived: int
+    completed: int
+    rejected: int
+    unfinished: int
+    elapsed_s: float
+    ttft_p50_s: float
+    ttft_p95_s: float
+    ttft_p99_s: float
+    ttft_mean_s: float
+    tpot_p50_s: float
+    tpot_p95_s: float
+    tpot_p99_s: float
+    tpot_mean_s: float
+    #: Completions per simulated second (deadline ignored).
+    throughput_rps: float
+    #: Deadline-meeting completions per simulated second.
+    goodput_rps: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (NaN handled by the emitter as null)."""
+        return {
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "unfinished": self.unfinished,
+            "elapsed_s": self.elapsed_s,
+            "ttft_p50_s": self.ttft_p50_s,
+            "ttft_p95_s": self.ttft_p95_s,
+            "ttft_p99_s": self.ttft_p99_s,
+            "ttft_mean_s": self.ttft_mean_s,
+            "tpot_p50_s": self.tpot_p50_s,
+            "tpot_p95_s": self.tpot_p95_s,
+            "tpot_p99_s": self.tpot_p99_s,
+            "tpot_mean_s": self.tpot_mean_s,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+        }
+
+
+def _mean(values) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def summarize(
+    requests: list[RequestTrace],
+    elapsed_s: float,
+    ttft_deadline_s: float | None = None,
+) -> SLOSummary:
+    """Roll request traces up into one :class:`SLOSummary`.
+
+    Args:
+        requests: every request that *arrived* during the run.
+        elapsed_s: simulated wall time the run covered (> 0 for any run
+            that served traffic; throughput/goodput are NaN at 0).
+        ttft_deadline_s: SLO deadline that gates goodput; ``None`` counts
+            every completion as good.
+    """
+    completed = [r for r in requests if r.completed]
+    rejected = [r for r in requests if r.rejected]
+    both = [r for r in requests if r.completed and r.rejected]
+    if both:
+        raise ValueError(
+            f"{len(both)} request(s) both served and rejected — "
+            "front-end accounting bug"
+        )
+    unfinished = len(requests) - len(completed) - len(rejected)
+    ttfts = [r.ttft_s for r in completed]
+    tpots = [r.tpot_s for r in completed]
+    if ttft_deadline_s is None:
+        good = len(completed)
+    else:
+        good = sum(1 for t in ttfts if t <= ttft_deadline_s)
+    rate = float("nan") if elapsed_s <= 0 else len(completed) / elapsed_s
+    goodput = float("nan") if elapsed_s <= 0 else good / elapsed_s
+    return SLOSummary(
+        arrived=len(requests),
+        completed=len(completed),
+        rejected=len(rejected),
+        unfinished=unfinished,
+        elapsed_s=elapsed_s,
+        ttft_p50_s=percentile(ttfts, 50.0),
+        ttft_p95_s=percentile(ttfts, 95.0),
+        ttft_p99_s=percentile(ttfts, 99.0),
+        ttft_mean_s=_mean(ttfts),
+        tpot_p50_s=percentile(tpots, 50.0),
+        tpot_p95_s=percentile(tpots, 95.0),
+        tpot_p99_s=percentile(tpots, 99.0),
+        tpot_mean_s=_mean(tpots),
+        throughput_rps=rate,
+        goodput_rps=goodput,
+    )

@@ -23,8 +23,19 @@ from repro.workload.scenarios import (
     get_scenario,
 )
 from repro.workload.gating import GatingSimulator
-from repro.workload.arrivals import AzureLikeMixer, ConstantMixer, ScenarioMixer
+from repro.workload.mixers import AzureLikeMixer, ConstantMixer, ScenarioMixer
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+)
 
+#: The supported workload surface (see ``docs/api.md``): scenario
+#: profiles, the scenario mixers that drift their composition, the gating
+#: simulator that turns them into per-layer demand, and the open-loop
+#: request arrival processes behind the serving front end.  Everything
+#: else under ``repro.workload`` (sampling kernels, module internals) is
+#: implementation detail.
 __all__ = [
     "ScenarioProfile",
     "CHAT",
@@ -37,4 +48,7 @@ __all__ = [
     "ScenarioMixer",
     "ConstantMixer",
     "AzureLikeMixer",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
 ]

@@ -1,218 +1,246 @@
-"""Scenario mixers: how the request pool composition evolves over time.
+"""Open-loop request arrival processes for the serving front end.
 
-The paper's mixed scenario integrates four benchmarks through Azure request
-arrival traces, producing "cyclically evolving scenario mixtures" with
-slow-varying load ratios (Sec. V-B).  :class:`AzureLikeMixer` substitutes a
-smooth cyclic weighting with phase-shifted periods per scenario plus mild
-noise — the property that matters is *slow drift*, which is a parameter
-here.
+The paper evaluates under cyclically evolving scenario mixtures driven by
+Azure request *arrival traces* — an open-loop workload: requests arrive on
+their own clock whether or not the system keeps up, which is what makes
+tail latency (TTFT/TPOT p99) a meaningful operator metric.  This module
+owns that arrival clock.  Two processes cover the trace properties the
+evaluation depends on:
+
+* :class:`PoissonArrivals` — a (optionally diurnally modulated)
+  inhomogeneous Poisson process.  The smooth rate cycle stands in for the
+  day/night swing of the Azure traces; thinning against the peak rate
+  keeps the draw exact, not a discretized approximation.
+* :class:`MMPPArrivals` — a Markov-modulated Poisson process: a seeded
+  continuous-time chain switches between rate states (e.g. a calm rate
+  and a flash-crowd rate), producing the bursty-arrival clusters that
+  stress admission control and the continuous-batching queue.
+
+Determinism contract: every process consumes a single
+``numpy.random.default_rng(seed)`` stream in fixed-size blocks, so the
+generated arrival-time sequence depends only on the constructor arguments
+— never on how the caller paces :meth:`ArrivalProcess.take_until` (one
+call per simulated hour and one call per microsecond drain the same
+stream), and never on the sampling backend (no kernel dispatch is
+involved).  Fixed seed = fixed request stream, bitwise.
+
+Historical note: the scenario *mixers* (how the request pool's scenario
+composition drifts over iterations) lived here before the front end
+existed; they are :mod:`repro.workload.mixers` now.  Importing the mixer
+names from this module still works behind a :class:`DeprecationWarning`
+shim at the bottom of the file.
 """
 
+import warnings
 from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro import sanitize
-from repro.workload.scenarios import ScenarioProfile
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+]
+
+#: Interarrival draws per RNG block.  Block draws make the stream a pure
+#: function of the seed (call-pattern independent); the size only trades
+#: Python-loop overhead against over-draw, never changes the stream.
+_BLOCK = 256
 
 
-class ScenarioMixer(ABC):
-    """Produces per-iteration scenario weights."""
+class ArrivalProcess(ABC):
+    """A deterministic, monotone stream of request arrival times (seconds).
 
-    def __init__(self, scenarios: list[ScenarioProfile]) -> None:
-        if not scenarios:
-            raise ValueError("at least one scenario is required")
-        self.scenarios = scenarios
+    Subclasses implement :meth:`_next_block` returning the next block of
+    arrival times strictly after the ones already produced; the base class
+    buffers blocks so :meth:`take_until` can hand out exactly the arrivals
+    in ``(last_taken, t]`` regardless of call granularity.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+        #: Arrivals drawn but not yet handed out, ascending.
+        self._buffer: list[float] = []
+        #: Latest drawn arrival time — blocks are drawn until past ``t``.
+        self._horizon = 0.0
 
     @abstractmethod
-    def weights(self, iteration: int) -> np.ndarray:
-        """Nonnegative scenario weights summing to 1 for this iteration."""
+    def _next_block(self) -> np.ndarray:
+        """The next ``_BLOCK`` arrival times, ascending, after _horizon."""
 
-    def popularity(self, num_experts: int, layer: int, iteration: int) -> np.ndarray:
-        """Mixture popularity across scenarios for one layer/iteration."""
-        weights = self.weights(iteration)
-        mixed = np.zeros(num_experts)
-        for weight, scenario in zip(weights, self.scenarios):
-            if weight > 0:
-                mixed += weight * scenario.popularity(num_experts, layer)
-        return mixed / mixed.sum()
+    def take_until(self, t: float) -> list[float]:
+        """Consume and return every arrival with time <= ``t``, ascending.
 
-    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
-        """``(num_layers, num_scenarios)`` weights — one row per layer.
-
-        The base implementation calls :meth:`weights` once per layer,
-        preserving stateful mixers' per-call evolution (the seed gating
-        loop queried the mixer once per layer per iteration); subclasses
-        override with a vectorized, bit-identical equivalent.
+        Each arrival is returned exactly once across calls; ``t`` must not
+        move backwards (the stream is an event clock, not random access).
         """
-        return np.stack([self.weights(iteration) for _ in range(num_layers)])
+        while self._horizon <= t:
+            block = self._next_block()
+            self._buffer.extend(block.tolist())
+            self._horizon = self._buffer[-1]
+        cut = 0
+        for time in self._buffer:
+            if time > t:
+                break
+            cut += 1
+        taken = self._buffer[:cut]
+        del self._buffer[:cut]
+        return taken
 
-    def popularity_matrix(
-        self, num_experts: int, num_layers: int, iteration: int
-    ) -> np.ndarray:
-        """``(num_layers, num_experts)`` mixture popularity, all layers at
-        once: one batched weights query and one einsum over the cached
-        per-scenario profile tensor — bit-identical to stacking
-        :meth:`popularity` over layers (einsum reduces the scenario axis in
-        the same order as the accumulation loop, and a zero weight
-        contributes exact zeros)."""
-        profiles = self._profile_tensor(num_experts, num_layers)
-        weights = self.weights_batch(iteration, num_layers)
-        mixed = np.einsum("ls,lse->le", weights, profiles)
-        return mixed / mixed.sum(axis=1, keepdims=True)
-
-    def _profile_tensor(self, num_experts: int, num_layers: int) -> np.ndarray:
-        """Cached ``(layers, scenarios, experts)`` popularity profiles."""
-        cached = getattr(self, "_profile_cache", None)
-        if cached is not None and cached.shape == (
-            num_layers,
-            len(self.scenarios),
-            num_experts,
-        ):
-            return cached
-        tensor = sanitize.freeze(
-            np.stack(
-                [
-                    [
-                        scenario.popularity(num_experts, layer)
-                        for scenario in self.scenarios
-                    ]
-                    for layer in range(num_layers)
-                ]
-            )
-        )
-        self._profile_cache = tensor
-        return tensor
+    def peek_next(self) -> float:
+        """The next undelivered arrival time (drawing blocks as needed)."""
+        while not self._buffer:
+            block = self._next_block()
+            self._buffer.extend(block.tolist())
+            self._horizon = self._buffer[-1]
+        return self._buffer[0]
 
 
-class ConstantMixer(ScenarioMixer):
-    """A fixed scenario composition (e.g. Math-only)."""
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals at ``rate`` req/s, optionally diurnally modulated.
 
-    def __init__(
-        self,
-        scenarios: list[ScenarioProfile],
-        fixed_weights: list[float] | None = None,
-    ) -> None:
-        super().__init__(scenarios)
-        if fixed_weights is None:
-            fixed_weights = [1.0 / len(scenarios)] * len(scenarios)
-        if len(fixed_weights) != len(scenarios):
-            raise ValueError(
-                f"{len(fixed_weights)} weights for {len(scenarios)} scenarios"
-            )
-        weights = np.asarray(fixed_weights, dtype=float)
-        if (weights < 0).any() or weights.sum() <= 0:
-            raise ValueError("weights must be nonnegative and sum to > 0")
-        # Handed out by every weights() call — freeze under the sanitizer.
-        self._weights = sanitize.freeze(weights / weights.sum())
+    With ``diurnal_depth > 0`` the instantaneous intensity is::
 
-    def weights(self, iteration: int) -> np.ndarray:
-        return self._weights
+        rate * (1 + diurnal_depth * cos(2 * pi * t / diurnal_period_s))
 
-    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
-        return np.broadcast_to(
-            self._weights, (num_layers, len(self.scenarios))
-        ).copy()
-
-
-class AzureLikeMixer(ScenarioMixer):
-    """Cyclically drifting composition with phase-shifted scenario periods.
-
-    Weight of scenario ``i`` at iteration ``t`` is a raised cosine with
-    period ``period_iters`` and phase ``i / n`` of a cycle, plus bounded
-    noise — request pools gradually transition between domains, exactly the
-    drift pattern that forces continuous re-balancing in Fig. 15/16.
+    drawn exactly by thinning a homogeneous process at the peak intensity
+    ``rate * (1 + diurnal_depth)``: each candidate arrival is kept with
+    probability ``intensity(t) / peak``.  One uniform is drawn per
+    candidate *unconditionally* (even with ``diurnal_depth == 0``), so the
+    homogeneous process is the exact ``depth -> 0`` limit of the modulated
+    one on the same seed.
     """
 
     def __init__(
         self,
-        scenarios: list[ScenarioProfile],
-        period_iters: int = 600,
-        noise: float = 0.05,
-        seed: int = 0,
+        rate: float,
+        seed: int,
+        diurnal_period_s: float = 60.0,
+        diurnal_depth: float = 0.0,
     ) -> None:
-        super().__init__(scenarios)
-        if period_iters <= 0:
-            raise ValueError(f"period_iters must be positive, got {period_iters}")
-        if not (0.0 <= noise < 1.0):
-            raise ValueError(f"noise must be in [0, 1), got {noise}")
-        self.period_iters = period_iters
-        self.noise = noise
-        self._rng = np.random.default_rng(seed)
-        self._noise_state = np.zeros(len(scenarios))
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if not (0.0 <= diurnal_depth < 1.0):
+            raise ValueError(
+                f"diurnal_depth must be in [0, 1), got {diurnal_depth}"
+            )
+        super().__init__(seed)
+        self.rate = rate
+        self.diurnal_period_s = diurnal_period_s
+        self.diurnal_depth = diurnal_depth
+        #: Homogeneous candidate clock.  Rejected candidates advance it
+        #: too — restarting from the last *accepted* time would re-expose
+        #: the tail of the block to fresh candidates and inflate the rate.
+        self._clock = 0.0
 
-    def weights(self, iteration: int) -> np.ndarray:
-        n = len(self.scenarios)
-        phases = (
-            2 * np.pi * (iteration / self.period_iters + np.arange(n) / n)
+    def intensity(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Instantaneous arrival intensity at time ``t`` (req/s)."""
+        cycle = np.cos(2.0 * np.pi * np.asarray(t) / self.diurnal_period_s)
+        return self.rate * (1.0 + self.diurnal_depth * cycle)
+
+    def _next_block(self) -> np.ndarray:
+        peak = self.rate * (1.0 + self.diurnal_depth)
+        times: list[float] = []
+        while len(times) < _BLOCK:
+            gaps = self._rng.exponential(1.0 / peak, size=_BLOCK)
+            keeps = self._rng.random(size=_BLOCK)
+            candidates = self._clock + np.cumsum(gaps)
+            self._clock = candidates[-1]
+            accept = keeps * peak < self.intensity(candidates)
+            times.extend(candidates[accept].tolist())
+        return np.asarray(times)
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Markov-modulated Poisson arrivals: bursty flash-crowd clusters.
+
+    A seeded continuous-time Markov chain cycles through ``rates`` states
+    (uniform transitions to the *other* states after an exponential
+    sojourn of mean ``mean_sojourn_s``); within a state, arrivals are
+    Poisson at that state's rate.  Two well-separated rates produce the
+    calm/burst alternation that stresses queueing and admission control;
+    the long-run mean rate is reported by :attr:`mean_rate` (uniform
+    stationary distribution — sojourn means are state-independent).
+    """
+
+    def __init__(
+        self,
+        rates: list[float] | tuple[float, ...],
+        mean_sojourn_s: float,
+        seed: int,
+        start_state: int = 0,
+    ) -> None:
+        rates = tuple(float(rate) for rate in rates)
+        if len(rates) < 2:
+            raise ValueError("MMPP needs at least two rate states")
+        if any(rate <= 0 for rate in rates):
+            raise ValueError(f"every state rate must be positive, got {rates}")
+        if mean_sojourn_s <= 0:
+            raise ValueError("mean_sojourn_s must be positive")
+        if not (0 <= start_state < len(rates)):
+            raise ValueError(f"start_state out of range: {start_state}")
+        super().__init__(seed)
+        self.rates = rates
+        self.mean_sojourn_s = mean_sojourn_s
+        self._state = start_state
+        #: End of the current sojourn window; arrivals past it switch state.
+        self._sojourn_end = 0.0
+        self._started = False
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run arrival rate (uniform stationary state occupancy)."""
+        return float(np.mean(self.rates))
+
+    def _advance_state(self, t: float) -> None:
+        """Walk the chain until the sojourn containing ``t``."""
+        while self._sojourn_end <= t or not self._started:
+            if self._started:
+                # Uniform jump to one of the *other* states.
+                step = int(self._rng.integers(1, len(self.rates)))
+                self._state = (self._state + step) % len(self.rates)
+            self._sojourn_end += self._rng.exponential(self.mean_sojourn_s)
+            self._started = True
+
+    def _next_block(self) -> np.ndarray:
+        times = np.empty(_BLOCK)
+        t = self._horizon
+        for index in range(_BLOCK):
+            self._advance_state(t)
+            # Memorylessness lets the truncated interarrival restart at a
+            # state boundary: draw within the current sojourn, and on
+            # overflow re-draw from the boundary under the next state.
+            while True:
+                gap = self._rng.exponential(1.0 / self.rates[self._state])
+                if t + gap <= self._sojourn_end:
+                    t += gap
+                    break
+                t = self._sojourn_end
+                self._advance_state(t)
+            times[index] = t
+        return times
+
+
+# -- deprecated re-exports ---------------------------------------------------
+
+#: Names that moved to :mod:`repro.workload.mixers` when the arrival
+#: processes took over this module (the mixers never were arrivals — they
+#: mix scenario *composition* per iteration, they own no clock).
+_MOVED_TO_MIXERS = ("ScenarioMixer", "ConstantMixer", "AzureLikeMixer")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_MIXERS:
+        warnings.warn(
+            f"repro.workload.arrivals.{name} moved to "
+            f"repro.workload.mixers.{name}; repro.workload.arrivals now "
+            "holds the open-loop arrival processes",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        raw = 1.0 + np.cos(phases)
-        if self.noise > 0:
-            # Smoothed (AR(1)) noise keeps drift slow rather than jittery.
-            self._noise_state = 0.9 * self._noise_state + 0.1 * self._rng.normal(
-                0.0, self.noise, size=n
-            )
-            raw = np.clip(raw * (1.0 + self._noise_state), 1e-6, None)
-        return raw / raw.sum()
+        from repro.workload import mixers
 
-    #: AR(1) recursion constants: state' = DECAY * state + INNOV * z.
-    _DECAY = 0.9
-    _INNOV = 0.1
-    #: Scan block size — bounds the ``DECAY ** -j`` rescaling factors to
-    #: ~1e6 so the closed-form scan never overflows or loses precision,
-    #: while a typical model depth (<= 128 layers) stays a single block.
-    _SCAN_BLOCK = 128
-
-    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
-        """Per-layer weights with one batched normal draw.
-
-        The raised-cosine base depends only on the iteration, so it is
-        computed once; the AR(1) noise recursion is evaluated as a
-        cumulative scan (:meth:`_scan_noise`) over one batched ``normal``
-        draw — the RNG stream is consumed in exactly the same order as
-        ``num_layers`` sequential :meth:`weights` calls, and the scan is
-        the recursion's closed form (equal to ~1e-15 relative; the
-        reassociation means the floats are not bit-identical to the
-        sequential path).
-        """
-        n = len(self.scenarios)
-        phases = (
-            2 * np.pi * (iteration / self.period_iters + np.arange(n) / n)
-        )
-        raw = 1.0 + np.cos(phases)
-        if self.noise <= 0:
-            weights = raw / raw.sum()
-            return np.broadcast_to(weights, (num_layers, n)).copy()
-        normals = self._rng.normal(0.0, self.noise, size=(num_layers, n))
-        states = self._scan_noise(normals)
-        self._noise_state = states[-1].copy()
-        scaled = np.clip(raw * (1.0 + states), 1e-6, None)
-        return scaled / scaled.sum(axis=1, keepdims=True)
-
-    def _scan_noise(self, normals: np.ndarray) -> np.ndarray:
-        """All AR(1) states for a block of innovations, as one scan.
-
-        ``s_k = DECAY^(k+1) * s_prev + INNOV * sum_j DECAY^(k-j) * z_j``
-        is computed by rescaling innovations with ``DECAY^-j``, one
-        ``cumsum``, and scaling back with ``DECAY^(k+1)`` — O(layers *
-        scenarios) vector work instead of a Python loop over layers.
-        Blocks of :data:`_SCAN_BLOCK` keep the rescaling factors bounded
-        (``DECAY^-j`` grows geometrically); the carried state chains
-        blocks exactly like the sequential recursion.
-        """
-        decay, innov = self._DECAY, self._INNOV
-        num_layers, n = normals.shape
-        states = np.empty((num_layers, n))
-        state = self._noise_state
-        for start in range(0, num_layers, self._SCAN_BLOCK):
-            chunk = normals[start : start + self._SCAN_BLOCK]
-            size = chunk.shape[0]
-            powers = decay ** np.arange(1, size + 1)
-            weighted = np.cumsum(
-                chunk * (decay ** -np.arange(size))[:, None], axis=0
-            )
-            states[start : start + size] = powers[:, None] * (
-                state + (innov / decay) * weighted
-            )
-            state = states[start + size - 1]
-        return states
+        return getattr(mixers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

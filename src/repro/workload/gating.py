@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.models.configs import MoEModelConfig
 from repro.workload import sampling
-from repro.workload.arrivals import ConstantMixer, ScenarioMixer
+from repro.workload.mixers import ConstantMixer, ScenarioMixer
 from repro.workload.scenarios import ScenarioProfile
 
 
@@ -122,7 +122,21 @@ class GatingSimulator:
         )
         return self._state
 
-    def next_counts(self) -> np.ndarray:
+    def _resolve_selections(self, tokens_per_group: int | None) -> int:
+        """Expert-selection slots per group for this iteration.
+
+        ``None`` (the closed-loop default) keeps the constructor's
+        ``tokens_per_group`` — bit-identical draws.  The serving front end
+        passes the continuous-batching batch size instead, making demand
+        scale with the requests actually in flight.
+        """
+        if tokens_per_group is None:
+            tokens_per_group = self.tokens_per_group
+        elif tokens_per_group <= 0:
+            raise ValueError("tokens_per_group must be positive")
+        return tokens_per_group * self.model.experts_per_token
+
+    def next_counts(self, tokens_per_group: int | None = None) -> np.ndarray:
         """Advance one iteration; return (layers, groups, experts) counts.
 
         The popularity-state relaxation and mixer queries run as batched
@@ -132,7 +146,7 @@ class GatingSimulator:
         bit-identical to the seed implementation.
         """
         model = self.model
-        selections = self.tokens_per_group * model.experts_per_token
+        selections = self._resolve_selections(tokens_per_group)
         popularity = self._advance_popularity()
         counts = self._rng.multinomial(
             selections,
@@ -142,7 +156,9 @@ class GatingSimulator:
         self._iteration += 1
         return counts
 
-    def next_loads(self) -> tuple[np.ndarray, np.ndarray]:
+    def next_loads(
+        self, tokens_per_group: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Advance one iteration; return (layer-0 group counts, layer totals).
 
         The serving loop resolves individual DP groups only on layer 0
@@ -156,7 +172,7 @@ class GatingSimulator:
         a different — equally distributed — trace realization.
         """
         model = self.model
-        selections = self.tokens_per_group * model.experts_per_token
+        selections = self._resolve_selections(tokens_per_group)
         popularity = self._advance_popularity()
         counts0 = self._rng.multinomial(
             selections, popularity[0], size=self.num_groups
@@ -173,7 +189,10 @@ class GatingSimulator:
         return counts0, loads
 
     def next_group_counts(
-        self, return_loads: bool = False, out: np.ndarray | None = None
+        self,
+        return_loads: bool = False,
+        out: np.ndarray | None = None,
+        tokens_per_group: int | None = None,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Advance one iteration; return (layers, groups, experts) demand.
 
@@ -229,7 +248,7 @@ class GatingSimulator:
         """
         model = self.model
         num_groups = self.num_groups
-        selections = self.tokens_per_group * model.experts_per_token
+        selections = self._resolve_selections(tokens_per_group)
         popularity = self._advance_popularity()
         counts0 = self._rng.multinomial(
             selections, popularity[0], size=num_groups

@@ -1,0 +1,218 @@
+"""Scenario mixers: how the request pool composition evolves over time.
+
+The paper's mixed scenario integrates four benchmarks through Azure request
+arrival traces, producing "cyclically evolving scenario mixtures" with
+slow-varying load ratios (Sec. V-B).  :class:`AzureLikeMixer` substitutes a
+smooth cyclic weighting with phase-shifted periods per scenario plus mild
+noise — the property that matters is *slow drift*, which is a parameter
+here.
+"""
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro import sanitize
+from repro.workload.scenarios import ScenarioProfile
+
+
+class ScenarioMixer(ABC):
+    """Produces per-iteration scenario weights."""
+
+    def __init__(self, scenarios: list[ScenarioProfile]) -> None:
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        self.scenarios = scenarios
+
+    @abstractmethod
+    def weights(self, iteration: int) -> np.ndarray:
+        """Nonnegative scenario weights summing to 1 for this iteration."""
+
+    def popularity(self, num_experts: int, layer: int, iteration: int) -> np.ndarray:
+        """Mixture popularity across scenarios for one layer/iteration."""
+        weights = self.weights(iteration)
+        mixed = np.zeros(num_experts)
+        for weight, scenario in zip(weights, self.scenarios):
+            if weight > 0:
+                mixed += weight * scenario.popularity(num_experts, layer)
+        return mixed / mixed.sum()
+
+    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
+        """``(num_layers, num_scenarios)`` weights — one row per layer.
+
+        The base implementation calls :meth:`weights` once per layer,
+        preserving stateful mixers' per-call evolution (the seed gating
+        loop queried the mixer once per layer per iteration); subclasses
+        override with a vectorized, bit-identical equivalent.
+        """
+        return np.stack([self.weights(iteration) for _ in range(num_layers)])
+
+    def popularity_matrix(
+        self, num_experts: int, num_layers: int, iteration: int
+    ) -> np.ndarray:
+        """``(num_layers, num_experts)`` mixture popularity, all layers at
+        once: one batched weights query and one einsum over the cached
+        per-scenario profile tensor — bit-identical to stacking
+        :meth:`popularity` over layers (einsum reduces the scenario axis in
+        the same order as the accumulation loop, and a zero weight
+        contributes exact zeros)."""
+        profiles = self._profile_tensor(num_experts, num_layers)
+        weights = self.weights_batch(iteration, num_layers)
+        mixed = np.einsum("ls,lse->le", weights, profiles)
+        return mixed / mixed.sum(axis=1, keepdims=True)
+
+    def _profile_tensor(self, num_experts: int, num_layers: int) -> np.ndarray:
+        """Cached ``(layers, scenarios, experts)`` popularity profiles."""
+        cached = getattr(self, "_profile_cache", None)
+        if cached is not None and cached.shape == (
+            num_layers,
+            len(self.scenarios),
+            num_experts,
+        ):
+            return cached
+        tensor = sanitize.freeze(
+            np.stack(
+                [
+                    [
+                        scenario.popularity(num_experts, layer)
+                        for scenario in self.scenarios
+                    ]
+                    for layer in range(num_layers)
+                ]
+            )
+        )
+        self._profile_cache = tensor
+        return tensor
+
+
+class ConstantMixer(ScenarioMixer):
+    """A fixed scenario composition (e.g. Math-only)."""
+
+    def __init__(
+        self,
+        scenarios: list[ScenarioProfile],
+        fixed_weights: list[float] | None = None,
+    ) -> None:
+        super().__init__(scenarios)
+        if fixed_weights is None:
+            fixed_weights = [1.0 / len(scenarios)] * len(scenarios)
+        if len(fixed_weights) != len(scenarios):
+            raise ValueError(
+                f"{len(fixed_weights)} weights for {len(scenarios)} scenarios"
+            )
+        weights = np.asarray(fixed_weights, dtype=float)
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("weights must be nonnegative and sum to > 0")
+        # Handed out by every weights() call — freeze under the sanitizer.
+        self._weights = sanitize.freeze(weights / weights.sum())
+
+    def weights(self, iteration: int) -> np.ndarray:
+        return self._weights
+
+    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
+        return np.broadcast_to(
+            self._weights, (num_layers, len(self.scenarios))
+        ).copy()
+
+
+class AzureLikeMixer(ScenarioMixer):
+    """Cyclically drifting composition with phase-shifted scenario periods.
+
+    Weight of scenario ``i`` at iteration ``t`` is a raised cosine with
+    period ``period_iters`` and phase ``i / n`` of a cycle, plus bounded
+    noise — request pools gradually transition between domains, exactly the
+    drift pattern that forces continuous re-balancing in Fig. 15/16.
+    """
+
+    def __init__(
+        self,
+        scenarios: list[ScenarioProfile],
+        period_iters: int = 600,
+        noise: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(scenarios)
+        if period_iters <= 0:
+            raise ValueError(f"period_iters must be positive, got {period_iters}")
+        if not (0.0 <= noise < 1.0):
+            raise ValueError(f"noise must be in [0, 1), got {noise}")
+        self.period_iters = period_iters
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        self._noise_state = np.zeros(len(scenarios))
+
+    def weights(self, iteration: int) -> np.ndarray:
+        n = len(self.scenarios)
+        phases = (
+            2 * np.pi * (iteration / self.period_iters + np.arange(n) / n)
+        )
+        raw = 1.0 + np.cos(phases)
+        if self.noise > 0:
+            # Smoothed (AR(1)) noise keeps drift slow rather than jittery.
+            self._noise_state = 0.9 * self._noise_state + 0.1 * self._rng.normal(
+                0.0, self.noise, size=n
+            )
+            raw = np.clip(raw * (1.0 + self._noise_state), 1e-6, None)
+        return raw / raw.sum()
+
+    #: AR(1) recursion constants: state' = DECAY * state + INNOV * z.
+    _DECAY = 0.9
+    _INNOV = 0.1
+    #: Scan block size — bounds the ``DECAY ** -j`` rescaling factors to
+    #: ~1e6 so the closed-form scan never overflows or loses precision,
+    #: while a typical model depth (<= 128 layers) stays a single block.
+    _SCAN_BLOCK = 128
+
+    def weights_batch(self, iteration: int, num_layers: int) -> np.ndarray:
+        """Per-layer weights with one batched normal draw.
+
+        The raised-cosine base depends only on the iteration, so it is
+        computed once; the AR(1) noise recursion is evaluated as a
+        cumulative scan (:meth:`_scan_noise`) over one batched ``normal``
+        draw — the RNG stream is consumed in exactly the same order as
+        ``num_layers`` sequential :meth:`weights` calls, and the scan is
+        the recursion's closed form (equal to ~1e-15 relative; the
+        reassociation means the floats are not bit-identical to the
+        sequential path).
+        """
+        n = len(self.scenarios)
+        phases = (
+            2 * np.pi * (iteration / self.period_iters + np.arange(n) / n)
+        )
+        raw = 1.0 + np.cos(phases)
+        if self.noise <= 0:
+            weights = raw / raw.sum()
+            return np.broadcast_to(weights, (num_layers, n)).copy()
+        normals = self._rng.normal(0.0, self.noise, size=(num_layers, n))
+        states = self._scan_noise(normals)
+        self._noise_state = states[-1].copy()
+        scaled = np.clip(raw * (1.0 + states), 1e-6, None)
+        return scaled / scaled.sum(axis=1, keepdims=True)
+
+    def _scan_noise(self, normals: np.ndarray) -> np.ndarray:
+        """All AR(1) states for a block of innovations, as one scan.
+
+        ``s_k = DECAY^(k+1) * s_prev + INNOV * sum_j DECAY^(k-j) * z_j``
+        is computed by rescaling innovations with ``DECAY^-j``, one
+        ``cumsum``, and scaling back with ``DECAY^(k+1)`` — O(layers *
+        scenarios) vector work instead of a Python loop over layers.
+        Blocks of :data:`_SCAN_BLOCK` keep the rescaling factors bounded
+        (``DECAY^-j`` grows geometrically); the carried state chains
+        blocks exactly like the sequential recursion.
+        """
+        decay, innov = self._DECAY, self._INNOV
+        num_layers, n = normals.shape
+        states = np.empty((num_layers, n))
+        state = self._noise_state
+        for start in range(0, num_layers, self._SCAN_BLOCK):
+            chunk = normals[start : start + self._SCAN_BLOCK]
+            size = chunk.shape[0]
+            powers = decay ** np.arange(1, size + 1)
+            weighted = np.cumsum(
+                chunk * (decay ** -np.arange(size))[:, None], axis=0
+            )
+            states[start : start + size] = powers[:, None] * (
+                state + (innov / decay) * weighted
+            )
+            state = states[start + size - 1]
+        return states

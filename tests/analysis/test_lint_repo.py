@@ -34,10 +34,11 @@ def test_project_rules_hold(repo_dirs):
     src, tests = repo_dirs
     from repro.analysis.lint import check_config_coverage, check_spec_versions
 
-    coverage = check_config_coverage(
-        src / "repro" / "engine" / "serving.py", tests
-    )
-    assert coverage == [], "\n" + "\n".join(v.format() for v in coverage)
+    for class_name in ("ServingConfig", "BalancingConfig", "PricingConfig"):
+        coverage = check_config_coverage(
+            src / "repro" / "engine" / "serving.py", tests, class_name
+        )
+        assert coverage == [], "\n" + "\n".join(v.format() for v in coverage)
 
     results_dir = REPO_ROOT / "benchmarks" / "results"
     if (results_dir / "cache").is_dir():

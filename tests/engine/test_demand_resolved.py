@@ -52,7 +52,7 @@ def make_simulator(
         workload,
         balancer_cls,
         engine_config=EngineConfig(tokens_per_group=64),
-        serving_config=ServingConfig(num_iterations=iterations, **serving_kwargs),
+        serving_config=ServingConfig.from_flat(num_iterations=iterations, **serving_kwargs),
         stacked=stacked,
     )
 

@@ -50,7 +50,7 @@ def make_simulator(
         workload,
         balancer_cls,
         engine_config=EngineConfig(tokens_per_group=64),
-        serving_config=ServingConfig(num_iterations=iterations, **serving_kwargs),
+        serving_config=ServingConfig.from_flat(num_iterations=iterations, **serving_kwargs),
         stacked=stacked,
         fault_schedule=fault_schedule,
     )
@@ -316,3 +316,46 @@ class TestRecoveryMetrics:
             r.repair_exposed for r in trace.records
         )
         assert trace.records[20].latency > trace.records[19].latency
+
+
+class TestHealthIntrospection:
+    """Public fault-health accessors the serving dispatcher consumes."""
+
+    def test_clean_run_reports_full_health(self):
+        simulator = make_simulator(GreedyBalancer, iterations=5)
+        simulator.run()
+        assert simulator.dead_devices() == frozenset()
+        assert simulator.straggling_devices() == frozenset()
+        assert all(simulator.group_health())
+
+    def test_failure_marks_device_and_group(self):
+        simulator = make_simulator(
+            GreedyBalancer,
+            iterations=10,
+            fault_schedule=FaultSchedule.single_failure(5, 3),
+        )
+        simulator.run()
+        assert simulator.dead_devices() == frozenset({3})
+        health = simulator.group_health()
+        groups = simulator.mapping.tp_groups
+        for index, group in enumerate(groups):
+            assert health[index] == (3 not in group)
+        assert sum(health) == len(groups) - 1
+
+    def test_straggler_window_blacklists_then_reinstates(self):
+        schedule = FaultSchedule(
+            [Straggler(iteration=3, device=2, factor=3.0, duration=4)]
+        )
+        simulator = make_simulator(
+            GreedyBalancer, iterations=30, fault_schedule=schedule
+        )
+        seen_active = False
+        for _ in range(12):
+            simulator.step()
+            if 2 in simulator.straggling_devices():
+                seen_active = True
+        assert seen_active
+        # Window [3, 7) long expired: the device is reinstated.
+        assert simulator.straggling_devices() == frozenset()
+        assert simulator.dead_devices() == frozenset()
+        assert all(simulator.group_health())

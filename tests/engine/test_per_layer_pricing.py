@@ -50,7 +50,7 @@ def make_simulator(
         workload,
         balancer_cls,
         engine_config=EngineConfig(tokens_per_group=64),
-        serving_config=ServingConfig(
+        serving_config=ServingConfig.from_flat(
             num_iterations=iterations,
             per_layer_alltoall=per_layer_alltoall,
             per_layer_demand=False,

@@ -8,7 +8,13 @@ from repro.balancer import (
     NonInvasiveBalancer,
     TopologyAwareBalancer,
 )
-from repro.engine import EngineConfig, ServingConfig, ServingSimulator
+from repro.engine import (
+    BalancingConfig,
+    EngineConfig,
+    PricingConfig,
+    ServingConfig,
+    ServingSimulator,
+)
 from repro.models import QWEN3_235B
 from repro.systems import build_wsc
 from repro.workload import AzureLikeMixer, CHAT, CODING, MATH, PRIVACY, GatingSimulator
@@ -33,7 +39,7 @@ def make_simulator(balancer_cls, iterations=30, mixer=None, seed=3, **serving_kw
         workload,
         balancer_cls,
         engine_config=EngineConfig(tokens_per_group=64),
-        serving_config=ServingConfig(num_iterations=iterations, **serving_kwargs),
+        serving_config=ServingConfig.from_flat(num_iterations=iterations, **serving_kwargs),
     )
 
 
@@ -134,27 +140,35 @@ class TestTraceStats:
         with pytest.raises(ValueError):
             ServingConfig(num_iterations=0)
         with pytest.raises(ValueError):
-            ServingConfig(alpha=-1.0)
+            BalancingConfig(alpha=-1.0)
         with pytest.raises(ValueError):
-            ServingConfig(shadow_slots=-1)
+            BalancingConfig(shadow_slots=-1)
+        # Validation also reaches through the grouped constructor.
+        with pytest.raises(ValueError):
+            ServingConfig(balancing=BalancingConfig(beta_iters=-1))
 
     def test_inert_demand_flag_combo_warns(self):
         """per_layer_demand only reaches the pricer through the per-layer
         plan; leaving it at its True default while switching per-layer
         pricing off is silently inert and almost always a mistake."""
         with pytest.warns(UserWarning, match="per_layer_demand.*inert"):
-            ServingConfig(per_layer_alltoall=False)
+            PricingConfig(per_layer_alltoall=False)
         with pytest.warns(UserWarning, match="inert"):
-            ServingConfig(per_layer_alltoall=False, per_layer_demand=True)
+            ServingConfig.from_flat(
+                per_layer_alltoall=False, per_layer_demand=True
+            )
 
     def test_explicit_broadcast_combos_do_not_warn(self):
         import warnings
 
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            ServingConfig(per_layer_alltoall=False, per_layer_demand=False)
-            ServingConfig(per_layer_alltoall=True, per_layer_demand=True)
-            ServingConfig(per_layer_alltoall=True, per_layer_demand=False)
+            PricingConfig(per_layer_alltoall=False, per_layer_demand=False)
+            PricingConfig(per_layer_alltoall=True, per_layer_demand=True)
+            PricingConfig(per_layer_alltoall=True, per_layer_demand=False)
+            ServingConfig.from_flat(
+                per_layer_alltoall=False, per_layer_demand=False
+            )
 
 
 class TestSteadyTail:
@@ -177,3 +191,43 @@ class TestSteadyTail:
         trace = make_simulator(NoBalancer, iterations=5).run()
         assert trace._steady(2) == trace.records[2:]
         assert trace._steady(0) == trace.records
+
+
+class TestDynamicBatch:
+    """step() — the public, per-iteration entry the serving front end
+    drives with a continuous-batching batch size."""
+
+    def test_step_default_is_bit_identical_to_run(self):
+        trace = make_simulator(NoBalancer, iterations=6).run()
+        stepped = make_simulator(NoBalancer, iterations=6)
+        records = [stepped.step() for _ in range(6)]
+        for ours, ref in zip(records, trace.records):
+            assert ours.latency == ref.latency
+            assert ours.alltoall_mean == ref.alltoall_mean
+            assert ours.max_device_load == ref.max_device_load
+
+    def test_step_tokens_scale_latency(self):
+        small = make_simulator(NoBalancer).step(tokens_per_group=8)
+        large = make_simulator(NoBalancer).step(tokens_per_group=1024)
+        assert small.latency < large.latency
+        # Both sides of the iteration scale: attention/all-reduce via the
+        # batch override, MoE/all-to-all via the drawn demand.
+        assert small.breakdown.allreduce < large.breakdown.allreduce
+        assert small.breakdown.moe.total < large.breakdown.moe.total
+        assert small.max_device_load < large.max_device_load
+
+    def test_step_rejects_nonpositive_tokens(self):
+        simulator = make_simulator(NoBalancer)
+        with pytest.raises(ValueError):
+            simulator.step(tokens_per_group=0)
+
+    def test_varying_tokens_keep_demand_conserved(self):
+        simulator = make_simulator(NoBalancer)
+        for tokens in (8, 64, 8, 256):
+            record = simulator.step(tokens_per_group=tokens)
+            expected = (
+                tokens
+                * QWEN3_235B.experts_per_token
+                * simulator.workload.num_groups
+            )
+            assert record.mean_device_load * simulator.mapping.topology.num_devices == pytest.approx(expected)

@@ -69,5 +69,5 @@ class TestDeviceLoadStats:
         )
 
     def test_record_load_stats_are_consistent(self, simulator):
-        record = simulator._step()
+        record = simulator.step()
         assert record.max_device_load >= record.mean_device_load > 0

@@ -68,7 +68,7 @@ def make_simulator(
         workload,
         balancer_cls,
         engine_config=EngineConfig(tokens_per_group=64),
-        serving_config=ServingConfig(
+        serving_config=ServingConfig.from_flat(
             num_iterations=iterations, warmup_iters=3, **serving_kwargs
         ),
     )
@@ -115,7 +115,7 @@ class TestZeroRebuilds:
         assert built == 7
         make_more = make_simulator(NoBalancer, num_layers=8, sparse_pricing=True)
         del make_more  # (fresh simulators share the mapping-cached pricer)
-        sim.serving_config = ServingConfig(
+        sim.serving_config = ServingConfig.from_flat(
             num_iterations=5, warmup_iters=3, sparse_pricing=True
         )
         sim.run()
@@ -149,7 +149,7 @@ class TestModeSelection:
 
     def test_auto_follows_operator_footprint(self):
         sim = make_simulator(NoBalancer, num_layers=2)
-        assert sim.serving_config.sparse_pricing is None
+        assert sim.serving_config.pricing.sparse_pricing is None
         assert sim.sparse_pricing == prefer_sparse_pricing(sim.mapping)
         # A 16-device wafer prices a tiny dense operator: auto stays dense.
         assert sim.sparse_pricing is False

@@ -136,7 +136,7 @@ class TestBalancerClaims:
         sim = ServingSimulator(
             system.device, QWEN3_235B, system.mapping, workload, balancer_cls,
             engine_config=EngineConfig(tokens_per_group=128),
-            serving_config=ServingConfig(num_iterations=50, **kwargs),
+            serving_config=ServingConfig.from_flat(num_iterations=50, **kwargs),
         )
         return sim.run()
 

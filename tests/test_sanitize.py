@@ -77,7 +77,7 @@ class TestCachedHandoutsAreFrozen:
             cache.bandwidth[0] = 1e9
 
     def test_mixer_weights_are_read_only(self):
-        from repro.workload.arrivals import ConstantMixer
+        from repro.workload.mixers import ConstantMixer
 
         mixer = ConstantMixer([MATH])
         weights = mixer.weights(0)

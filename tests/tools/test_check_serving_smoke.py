@@ -585,3 +585,172 @@ class TestSamplingGates:
         out = capsys.readouterr().out
         assert "sampling perf smoke ok" in out
         assert "vs legacy chain" in out
+
+
+def slo_config(
+    name="poisson_reference",
+    process="poisson",
+    arrival_rate=500.0,
+    fault=False,
+    arrived=96,
+    completed=96,
+    rejected=0,
+    unfinished=0,
+    ttft_p99_s=0.006,
+    blacklist_events=0,
+    reinstate_events=0,
+    **extra,
+):
+    return {
+        "name": name,
+        "process": process,
+        "arrival_rate": arrival_rate,
+        "fault": fault,
+        "num_requests": arrived,
+        "arrived": arrived,
+        "completed": completed,
+        "rejected": rejected,
+        "unfinished": unfinished,
+        "elapsed_s": 0.5,
+        "ttft_p50_s": 0.003,
+        "ttft_p95_s": 0.005,
+        "ttft_p99_s": ttft_p99_s,
+        "tpot_p50_s": 0.0015,
+        "goodput_rps": 400.0,
+        "throughput_rps": 420.0,
+        "blacklist_events": blacklist_events,
+        "reinstate_events": reinstate_events,
+        "drop_events": 0,
+        "redispatches": 0,
+        **extra,
+    }
+
+
+def slo_grid(overrides=None):
+    """The four-config front-end axis the CI smoke runs."""
+    overrides = overrides or {}
+    cases = [
+        ("poisson_reference", dict()),
+        (
+            "poisson_diurnal_overload",
+            dict(arrival_rate=4000.0, completed=60, rejected=36, ttft_p99_s=0.04),
+        ),
+        (
+            "mmpp_bursty",
+            dict(
+                process="mmpp",
+                arrival_rate=3150.0,
+                completed=80,
+                rejected=16,
+                ttft_p99_s=0.03,
+            ),
+        ),
+        (
+            "straggler_fault",
+            dict(fault=True, blacklist_events=1, reinstate_events=1, ttft_p99_s=0.1),
+        ),
+    ]
+    return [
+        slo_config(name=name, **{**fields, **overrides.get(name, {})})
+        for name, fields in cases
+    ]
+
+
+def run_slo_checks(configs, *argv):
+    args = check_serving_smoke.parse_args(["record.json", *argv])
+    data = {"benchmark": "slo_serving", "configs": configs}
+    return check_serving_smoke.check_record(data, args)
+
+
+SLO_AXES = (
+    "--expect-slo",
+    "poisson_reference,poisson_diurnal_overload,mmpp_bursty,straggler_fault",
+    "--expect-arrival-rate",
+    "500",
+    "--max-p99-ttft",
+    "0.02",
+)
+
+
+class TestSLOGates:
+    def test_passing_record(self):
+        assert run_slo_checks(slo_grid(), *SLO_AXES) == []
+
+    def test_wrong_config_axis(self):
+        configs = [c for c in slo_grid() if c["name"] != "mmpp_bursty"]
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("config axis" in error for error in errors)
+
+    def test_conservation_violation(self):
+        configs = slo_grid({"poisson_reference": {"completed": 90}})
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("conservation violated" in error for error in errors)
+
+    def test_unfinished_requests_fail(self):
+        configs = slo_grid(
+            {"mmpp_bursty": {"completed": 70, "unfinished": 10}}
+        )
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("left unfinished" in error for error in errors)
+
+    def test_nothing_completed_fails(self):
+        configs = slo_grid(
+            {"poisson_reference": {"completed": 0, "rejected": 96}}
+        )
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("no request completed" in error for error in errors)
+
+    def test_fault_config_without_blacklist(self):
+        configs = slo_grid({"straggler_fault": {"blacklist_events": 0}})
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("no blacklist event" in error for error in errors)
+
+    def test_fault_config_without_reinstate(self):
+        configs = slo_grid({"straggler_fault": {"reinstate_events": 0}})
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("never recovered" in error for error in errors)
+
+    def test_p99_budget_gates_the_reference_point(self):
+        configs = slo_grid({"poisson_reference": {"ttft_p99_s": 0.05}})
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("over the budget" in error for error in errors)
+
+    def test_budget_ignores_other_operating_points(self):
+        # The overload and bursty configs run far past the reference
+        # rate; their p99 is reported, not budgeted.
+        configs = slo_grid(
+            {"poisson_diurnal_overload": {"ttft_p99_s": 1.0}}
+        )
+        assert run_slo_checks(configs, *SLO_AXES) == []
+
+    def test_missing_reference_point(self):
+        configs = slo_grid({"poisson_reference": {"arrival_rate": 250.0}})
+        errors = run_slo_checks(configs, *SLO_AXES)
+        assert any("expected arrival rate" in error for error in errors)
+
+    def test_unpinned_rate_gates_every_nonfaulted_config(self):
+        configs = slo_grid({"mmpp_bursty": {"ttft_p99_s": 0.5}})
+        errors = run_slo_checks(
+            configs, "--expect-slo", SLO_AXES[1], "--max-p99-ttft", "0.05"
+        )
+        assert any(
+            "mmpp_bursty" in error and "over the budget" in error
+            for error in errors
+        )
+
+    def test_serving_record_rejected(self):
+        args = check_serving_smoke.parse_args(["record.json", *SLO_AXES])
+        errors = check_serving_smoke.check_record(record(full_grid()), args)
+        assert any(
+            "not an slo_serving benchmark" in error for error in errors
+        )
+
+    def test_main_success_print(self, tmp_path, capsys):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps({"benchmark": "slo_serving", "configs": slo_grid()})
+        )
+        assert check_serving_smoke.main([str(path), *SLO_AXES]) == 0
+        out = capsys.readouterr().out
+        assert "slo serving smoke ok" in out
+        assert "p99 TTFT poisson_reference" in out

@@ -1,0 +1,138 @@
+"""Determinism and distribution tests for the open-loop arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import MMPPArrivals, PoissonArrivals
+
+
+def drain(process, t, step):
+    """Every arrival <= t, collected in fixed-size time steps."""
+    times = []
+    clock = 0.0
+    while clock < t:
+        clock = min(clock + step, t)
+        times.extend(process.take_until(clock))
+    return times
+
+
+class TestPoissonArrivals:
+    def test_fixed_seed_fixed_stream(self):
+        first = PoissonArrivals(rate=50.0, seed=7).take_until(20.0)
+        second = PoissonArrivals(rate=50.0, seed=7).take_until(20.0)
+        assert first == second  # bitwise, not approx
+
+    def test_seed_changes_stream(self):
+        first = PoissonArrivals(rate=50.0, seed=7).take_until(5.0)
+        second = PoissonArrivals(rate=50.0, seed=8).take_until(5.0)
+        assert first != second
+
+    def test_call_granularity_does_not_change_stream(self):
+        # One call per 10 simulated seconds vs one per 17 ms must drain
+        # the identical stream: blocks are drawn at fixed size, so the
+        # RNG consumption is a pure function of the seed.
+        coarse = drain(PoissonArrivals(rate=40.0, seed=3), 30.0, step=10.0)
+        fine = drain(PoissonArrivals(rate=40.0, seed=3), 30.0, step=0.017)
+        assert coarse == fine
+
+    def test_arrivals_sorted_and_consumed_once(self):
+        process = PoissonArrivals(rate=100.0, seed=1)
+        first = process.take_until(1.0)
+        second = process.take_until(2.0)
+        combined = first + second
+        assert combined == sorted(combined)
+        assert all(t <= 1.0 for t in first)
+        assert all(1.0 < t <= 2.0 for t in second)
+
+    def test_rate_matches_long_run_mean(self):
+        process = PoissonArrivals(rate=200.0, seed=5)
+        arrivals = process.take_until(50.0)
+        observed = len(arrivals) / 50.0
+        assert observed == pytest.approx(200.0, rel=0.05)
+
+    def test_diurnal_modulation_shifts_mass(self):
+        # depth=0.9, period 10s: the first half-cycle (cos > 0) must see
+        # far more arrivals than the trough around t = period/2.
+        process = PoissonArrivals(
+            rate=100.0, seed=9, diurnal_period_s=10.0, diurnal_depth=0.9
+        )
+        arrivals = np.asarray(process.take_until(200.0))
+        phase = np.mod(arrivals, 10.0)
+        peak = ((phase < 2.0) | (phase > 8.0)).sum()
+        trough = ((phase > 3.0) & (phase < 7.0)).sum()
+        assert peak > 2 * trough
+
+    def test_diurnal_rate_preserves_mean(self):
+        # The raised cosine integrates to 1 over a period, so the mean
+        # rate is the base rate.
+        process = PoissonArrivals(
+            rate=100.0, seed=2, diurnal_period_s=5.0, diurnal_depth=0.5
+        )
+        arrivals = process.take_until(100.0)
+        assert len(arrivals) / 100.0 == pytest.approx(100.0, rel=0.05)
+
+    def test_peek_next_does_not_consume(self):
+        process = PoissonArrivals(rate=10.0, seed=4)
+        first = process.peek_next()
+        assert process.peek_next() == first
+        assert process.take_until(first)[0] == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0, seed=0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1.0, seed=0, diurnal_depth=1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1.0, seed=0, diurnal_period_s=0.0)
+
+
+class TestMMPPArrivals:
+    def test_fixed_seed_fixed_stream(self):
+        kwargs = dict(rates=[20.0, 400.0], mean_sojourn_s=2.0, seed=11)
+        first = MMPPArrivals(**kwargs).take_until(30.0)
+        second = MMPPArrivals(**kwargs).take_until(30.0)
+        assert first == second
+
+    def test_call_granularity_does_not_change_stream(self):
+        coarse = drain(
+            MMPPArrivals([30.0, 300.0], mean_sojourn_s=1.0, seed=6), 20.0, 5.0
+        )
+        fine = drain(
+            MMPPArrivals([30.0, 300.0], mean_sojourn_s=1.0, seed=6), 20.0, 0.05
+        )
+        assert coarse == fine
+
+    def test_mean_rate_property(self):
+        process = MMPPArrivals([10.0, 90.0], mean_sojourn_s=1.0, seed=0)
+        assert process.mean_rate == pytest.approx(50.0)
+
+    def test_long_run_rate_near_mean(self):
+        process = MMPPArrivals([50.0, 150.0], mean_sojourn_s=0.5, seed=13)
+        arrivals = process.take_until(100.0)
+        assert len(arrivals) / 100.0 == pytest.approx(100.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        # Interarrival coefficient of variation: Poisson has CV = 1; a
+        # strongly bimodal MMPP must exceed it (burst clusters).
+        mmpp = MMPPArrivals([5.0, 500.0], mean_sojourn_s=3.0, seed=17)
+        gaps = np.diff(np.asarray(mmpp.take_until(300.0)))
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3
+
+    def test_monotone_and_consumed_once(self):
+        process = MMPPArrivals([10.0, 100.0], mean_sojourn_s=1.0, seed=2)
+        first = process.take_until(3.0)
+        second = process.take_until(6.0)
+        combined = first + second
+        assert combined == sorted(combined)
+        assert not (set(first) & set(second))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals([10.0], mean_sojourn_s=1.0, seed=0)
+        with pytest.raises(ValueError):
+            MMPPArrivals([10.0, -1.0], mean_sojourn_s=1.0, seed=0)
+        with pytest.raises(ValueError):
+            MMPPArrivals([10.0, 20.0], mean_sojourn_s=0.0, seed=0)
+        with pytest.raises(ValueError):
+            MMPPArrivals([10.0, 20.0], mean_sojourn_s=1.0, seed=0, start_state=5)

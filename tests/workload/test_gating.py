@@ -6,7 +6,7 @@ import pytest
 from repro.analysis.load import device_token_loads, load_ratio
 from repro.mapping.placement import ExpertPlacement
 from repro.models import QWEN3_235B
-from repro.workload.arrivals import AzureLikeMixer, ConstantMixer
+from repro.workload.mixers import AzureLikeMixer, ConstantMixer
 from repro.workload.gating import GatingSimulator
 from repro.workload.scenarios import CHAT, CODING, MATH, PRIVACY
 

@@ -35,6 +35,22 @@ within the budget:
         benchmarks/results/BENCH_faults.smoke.json \
         --expect-faults single_tile --max-recovery-iters 20
 
+With ``--expect-slo`` the checker instead validates a
+``BENCH_slo[.smoke].json`` record from the ``slo_serving`` front-end
+spec: the config axis must match, every config must satisfy request
+conservation (arrived == completed + rejected, nothing unfinished),
+fault-injected configs must record both a blacklist and a reinstate
+event (blacklist-driven recovery), and — at the reference operating
+point pinned by ``--expect-arrival-rate`` — p99 TTFT must stay inside
+the ``--max-p99-ttft`` budget:
+
+    REPRO_SLO_BENCH_REQUESTS=96 \
+        PYTHONPATH=src python -m repro.experiments run slo_serving
+    python tools/ci/check_serving_smoke.py \
+        benchmarks/results/BENCH_slo.smoke.json \
+        --expect-slo poisson_reference,poisson_diurnal_overload,mmpp_bursty,straggler_fault \
+        --expect-arrival-rate 500 --max-p99-ttft 0.02
+
 This is the logic that used to live as an inline heredoc in
 ``.github/workflows/ci.yml``; as a checked-in module it has unit tests
 (``tests/tools/test_check_serving_smoke.py``) and can be run locally:
@@ -192,6 +208,34 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         "multinomial_split hot path (default: %(default)s)",
     )
     parser.add_argument(
+        "--expect-slo",
+        type=_csv_strs,
+        default=None,
+        metavar="C1,C2,...",
+        help="treat the record as an slo_serving benchmark and require its "
+        "config axis to be exactly this set; every config must satisfy "
+        "request conservation (arrived == completed + rejected, nothing "
+        "left unfinished) and every fault-injected config must record "
+        "both a blacklist and a reinstate event (blacklist-driven "
+        "recovery, not just survival)",
+    )
+    parser.add_argument(
+        "--expect-arrival-rate",
+        type=float,
+        default=None,
+        help="SLO records only: require a non-faulted poisson config at "
+        "exactly this arrival rate (req/s) — the reference operating "
+        "point the p99 budget is measured at",
+    )
+    parser.add_argument(
+        "--max-p99-ttft",
+        type=float,
+        default=None,
+        help="SLO records only: p99 TTFT budget in seconds for the "
+        "reference config selected by --expect-arrival-rate (or for "
+        "every non-faulted config when no rate is pinned)",
+    )
+    parser.add_argument(
         "--expect-faults",
         type=_csv_strs,
         default=None,
@@ -291,6 +335,92 @@ def check_fault_record(data: dict, args: argparse.Namespace) -> list[str]:
     return errors
 
 
+def check_slo_record(data: dict, args: argparse.Namespace) -> list[str]:
+    """Violations of the slo_serving front-end expectations."""
+    errors: list[str] = []
+    configs = data.get("configs")
+    if not configs:
+        return ["record has no configs"]
+    if data.get("benchmark") != "slo_serving":
+        return [
+            "--expect-slo given but the record is not an slo_serving "
+            f"benchmark (got {data.get('benchmark')!r})"
+        ]
+
+    names = {config.get("name") for config in configs}
+    if names != set(args.expect_slo):
+        errors.append(
+            f"config axis {sorted(names, key=str)} != expected "
+            f"{sorted(set(args.expect_slo))}"
+        )
+
+    for config in configs:
+        label = config.get("name")
+        arrived = config.get("arrived", 0)
+        completed = config.get("completed", 0)
+        rejected = config.get("rejected", 0)
+        unfinished = config.get("unfinished", 0)
+        if not completed:
+            errors.append(f"{label}: no request completed")
+        if unfinished:
+            errors.append(
+                f"{label}: {unfinished} request(s) left unfinished — the "
+                "front end must drain every run"
+            )
+        if arrived != completed + rejected + unfinished:
+            errors.append(
+                f"{label}: conservation violated — arrived {arrived} != "
+                f"completed {completed} + rejected {rejected} + "
+                f"unfinished {unfinished}"
+            )
+        if config.get("fault"):
+            # Blacklist-driven recovery: the slowed backend must have been
+            # taken out of rotation AND brought back within the run.
+            if not config.get("blacklist_events"):
+                errors.append(
+                    f"{label}: fault-injected config recorded no "
+                    "blacklist event"
+                )
+            if not config.get("reinstate_events"):
+                errors.append(
+                    f"{label}: fault-injected config recorded no "
+                    "reinstate event — the backend never recovered"
+                )
+
+    # The reference operating point: p99 TTFT is only meaningful at a
+    # pinned arrival rate (a budget over an unknown load gates nothing).
+    gated = [config for config in configs if not config.get("fault")]
+    if args.expect_arrival_rate is not None:
+        gated = [
+            config
+            for config in gated
+            if config.get("process") == "poisson"
+            and config.get("arrival_rate") == args.expect_arrival_rate
+        ]
+        if not gated:
+            errors.append(
+                "no non-faulted poisson config at the expected arrival "
+                f"rate {args.expect_arrival_rate:g} req/s"
+            )
+    if args.max_p99_ttft is not None:
+        for config in gated:
+            label = config.get("name")
+            p99 = config.get("ttft_p99_s")
+            if p99 is None:
+                errors.append(f"{label}: no p99 TTFT recorded to gate")
+                continue
+            print(
+                f"p99 TTFT {label}: {p99 * 1e3:.1f} ms "
+                f"(budget {args.max_p99_ttft * 1e3:.1f} ms)"
+            )
+            if p99 > args.max_p99_ttft:
+                errors.append(
+                    f"{label}: p99 TTFT {p99 * 1e3:.1f} ms over the "
+                    f"budget {args.max_p99_ttft * 1e3:.1f} ms"
+                )
+    return errors
+
+
 #: The kernels the sampling record must measure for every backend (the
 #: numpy-only and baseline rows are extras the gate does not require).
 SAMPLING_GATED_KERNELS = (
@@ -366,6 +496,8 @@ def check_sampling_record(data: dict, args: argparse.Namespace) -> list[str]:
 
 def check_record(data: dict, args: argparse.Namespace) -> list[str]:
     """All violated expectations, as human-readable messages."""
+    if args.expect_slo is not None:
+        return check_slo_record(data, args)
     if args.expect_faults is not None:
         return check_fault_record(data, args)
     if args.expect_sampling is not None:
@@ -585,6 +717,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: {error}", file=sys.stderr)
         return 1
     configs = data["configs"]
+    if args.expect_slo is not None:
+        print(
+            "slo serving smoke ok:",
+            [
+                (
+                    config["name"],
+                    config.get("completed"),
+                    config.get("rejected"),
+                    round(config["ttft_p99_s"] * 1e3, 1)
+                    if config.get("ttft_p99_s") is not None
+                    else None,
+                    round(config["goodput_rps"], 1)
+                    if config.get("goodput_rps") is not None
+                    else None,
+                )
+                for config in configs
+            ],
+        )
+        return 0
     if args.expect_faults is not None:
         print(
             "fault recovery smoke ok:",
